@@ -1,0 +1,129 @@
+// Command cellbench runs the paper's microbenchmark suite against the
+// Cell Broadband Engine model and prints the reproduced figures.
+//
+// Usage:
+//
+//	cellbench -list
+//	cellbench -experiment spe-mem-get
+//	cellbench -all -format csv > results.csv
+//	cellbench -experiment spe-couples -paper -full
+//
+// The default parameters move 2 MB per SPE across 10 sampled SPE layouts;
+// -paper switches to the full 32 MB per SPE of the original setup.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cellbe/internal/cell"
+	"cellbe/internal/core"
+	"cellbe/internal/report"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list available experiments and exit")
+		name   = flag.String("experiment", "", "experiment to run (see -list)")
+		all    = flag.Bool("all", false, "run every experiment")
+		format = flag.String("format", "table", "output format: table, csv, or chart")
+		full   = flag.Bool("full", false, "tables include min/max/median columns")
+		paper  = flag.Bool("paper", false, "use the paper's full 32 MB per-SPE volume (slow)")
+		runs   = flag.Int("runs", 0, "override the number of layout samples (default 10)")
+		seed   = flag.Int64("seed", 1, "first layout seed")
+		quiet  = flag.Bool("q", false, "suppress progress messages on stderr")
+		cfgIn  = flag.String("config", "", "JSON file overriding the machine configuration")
+		dump   = flag.Bool("dump-config", false, "print the default machine configuration as JSON and exit")
+	)
+	flag.Parse()
+
+	if *dump {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(cell.DefaultConfig()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *list {
+		for _, e := range core.Experiments() {
+			fmt.Printf("%-18s %-22s %s\n", e.Name, e.Figure, e.Description)
+		}
+		return
+	}
+
+	params := core.DefaultParams()
+	if *paper {
+		params = core.PaperParams()
+	}
+	if *runs > 0 {
+		params.Runs = *runs
+	}
+	params.FirstSeed = *seed
+	if *cfgIn != "" {
+		data, err := os.ReadFile(*cfgIn)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cellbench: %v\n", err)
+			os.Exit(2)
+		}
+		base := cell.DefaultConfig()
+		if err := json.Unmarshal(data, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "cellbench: parsing %s: %v\n", *cfgIn, err)
+			os.Exit(2)
+		}
+		params.Base = &base
+	}
+
+	var experiments []core.Experiment
+	switch {
+	case *all:
+		experiments = core.Experiments()
+	case *name != "":
+		e, err := core.Lookup(*name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		experiments = []core.Experiment{e}
+	default:
+		fmt.Fprintln(os.Stderr, "cellbench: need -experiment NAME, -all, or -list")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	for _, e := range experiments {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "running %s (%s)...\n", e.Name, e.Figure)
+		}
+		start := time.Now()
+		res, err := e.Run(params)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cellbench: %s: %v\n", e.Name, err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "  done in %v\n", time.Since(start).Round(time.Millisecond))
+		}
+		switch *format {
+		case "table":
+			err = report.Table(os.Stdout, res, *full)
+		case "csv":
+			err = report.CSV(os.Stdout, res)
+		case "chart":
+			err = report.Chart(os.Stdout, res, 50)
+		default:
+			fmt.Fprintf(os.Stderr, "cellbench: unknown format %q\n", *format)
+			os.Exit(2)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cellbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,199 @@
+// Command cellsim runs a single DMA scenario on the Cell BE model and
+// dumps the machine-level picture behind the number: the logical-to-
+// physical SPE layout, per-ring occupancy, command counts, memory bank
+// traffic and MFC statistics. It is the debugging companion to cellbench.
+//
+// Usage:
+//
+//	cellsim -scenario pair -chunk 4096 -seed 3
+//	cellsim -scenario cycle -spes 8
+//	cellsim -scenario mem -spes 4 -op copy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cellbe/internal/cell"
+	"cellbe/internal/eib"
+	"cellbe/internal/sim"
+	"cellbe/internal/spe"
+)
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "pair", "pair, couples, cycle, or mem")
+		spes     = flag.Int("spes", 2, "number of SPEs involved")
+		chunk    = flag.Int("chunk", 16384, "DMA element size in bytes")
+		op       = flag.String("op", "get", "mem scenario operation: get, put, or copy")
+		volume   = flag.Int64("volume", 2<<20, "bytes per SPE")
+		seed     = flag.Int64("seed", 0, "layout seed (0 = identity)")
+		timeline = flag.Int64("timeline", 0, "print per-window utilization every N cycles (0 = off)")
+		dumpN    = flag.Int("dump-transfers", 0, "print the last N EIB transfers as CSV")
+	)
+	flag.Parse()
+
+	cfg := cell.DefaultConfig()
+	cfg.Layout = cell.RandomLayout(*seed)
+	if *dumpN > 0 {
+		cfg.EIB.TraceCapacity = *dumpN
+	}
+	sys := cell.New(cfg)
+
+	fmt.Printf("layout (logical -> physical -> ramp):\n")
+	for logical, phys := range sys.Layout() {
+		fmt.Printf("  SPE%d -> phys %d -> ramp %v\n", logical, phys, eib.PhysicalSPERamp(phys))
+	}
+
+	var totalBytes int64
+	done := 0
+	spawn := func(idx int, bytes int64, kernel func(ctx *spe.Context)) {
+		totalBytes += bytes
+		sys.SPEs[idx].Run(fmt.Sprintf("spe%d", idx), func(ctx *spe.Context) {
+			kernel(ctx)
+			done++
+		})
+	}
+
+	pairKernel := func(idx, peer int) {
+		spawn(idx, 2*(*volume), func(ctx *spe.Context) {
+			peerEA := sys.LSEA(peer, 0)
+			slots := (128 << 10) / *chunk
+			if slots > 8 {
+				slots = 8
+			}
+			if slots < 1 {
+				slots = 1
+			}
+			i := 0
+			for off := int64(0); off < *volume; off += int64(*chunk) {
+				slot := i % slots
+				ctx.Get(slot*(*chunk), peerEA+int64(slot*(*chunk)), *chunk, 0)
+				ctx.Put((128<<10)/2+slot*(*chunk), peerEA+int64(slot*(*chunk)), *chunk, 1)
+				i++
+			}
+			ctx.WaitTagMask(1<<0 | 1<<1)
+		})
+	}
+
+	switch *scenario {
+	case "pair":
+		pairKernel(0, 1)
+	case "couples":
+		for c := 0; c < *spes/2; c++ {
+			pairKernel(2*c, 2*c+1)
+		}
+	case "cycle":
+		for i := 0; i < *spes; i++ {
+			pairKernel(i, (i+1)%*spes)
+		}
+	case "mem":
+		for i := 0; i < *spes; i++ {
+			i := i
+			base := sys.Alloc(*volume, 1<<16)
+			spawn(i, *volume, func(ctx *spe.Context) {
+				tag := 0
+				for off := int64(0); off < *volume; off += int64(*chunk) {
+					ls := int(off) % (128 << 10)
+					if ls+*chunk > 128<<10 {
+						ls = 0
+					}
+					switch *op {
+					case "get":
+						ctx.Get(ls, base+off, *chunk, tag)
+					case "put":
+						ctx.Put(ls, base+off, *chunk, tag)
+					case "copy":
+						ctx.GetF(ls, base+off, *chunk, tag)
+						ctx.PutF(ls, base+off, *chunk, tag)
+					default:
+						fmt.Fprintf(os.Stderr, "cellsim: unknown op %q\n", *op)
+						os.Exit(2)
+					}
+				}
+				ctx.WaitTagMask(^uint32(0))
+			})
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "cellsim: unknown scenario %q\n", *scenario)
+		os.Exit(2)
+	}
+
+	if *timeline > 0 {
+		runTimeline(sys, *timeline)
+	} else {
+		sys.Run()
+	}
+	cycles := sys.Eng.Now()
+	fmt.Printf("\nscenario %s: %d SPEs, %dB elements, %d MB/SPE\n",
+		*scenario, *spes, *chunk, *volume>>20)
+	fmt.Printf("simulated %d cycles (%.3f ms at %.1f GHz), %d events\n",
+		cycles, float64(cycles)/cfg.ClockGHz/1e6, cfg.ClockGHz, sys.Eng.Fired())
+	fmt.Printf("aggregate bandwidth: %.2f GB/s\n", sys.GBps(totalBytes, cycles))
+
+	st := sys.Bus.Stats()
+	fmt.Printf("\nEIB: %d transfers, %d MB, %d commands, wait %d cycles\n",
+		st.Transfers, st.Bytes>>20, st.Commands, st.WaitCycles)
+	for i, busy := range st.BusyCycles {
+		dir := "cw"
+		if i >= 2 {
+			dir = "ccw"
+		}
+		util := float64(busy) / float64(cycles) * 100
+		fmt.Printf("  ring %d (%s): %d segment-cycles reserved (%.1f%% of one segment)\n", i, dir, busy, util)
+	}
+	fmt.Printf("  per-direction transfers: cw=%d ccw=%d\n",
+		st.PerDirCount[eib.Clockwise], st.PerDirCount[eib.Counterclockwise])
+
+	for b := 0; b < 2; b++ {
+		bs := sys.Mem.BankStats(b)
+		name := "local (MIC)"
+		if b == 1 {
+			name = "remote (IOIF)"
+		}
+		fmt.Printf("bank %d %s: read %d MB, wrote %d MB, %d requests, %d refreshes\n",
+			b, name, bs.ReadBytes>>20, bs.WriteBytes>>20, bs.Requests, bs.Refreshes)
+	}
+
+	for i, sp := range sys.SPEs {
+		ms := sp.MFC().Stats()
+		if ms.Commands == 0 {
+			continue
+		}
+		fmt.Printf("SPE%d MFC: %d commands, %d packets, %d MB\n",
+			i, ms.Commands, ms.Packets, ms.Bytes>>20)
+	}
+	_ = done
+
+	if *dumpN > 0 {
+		fmt.Printf("\nissued,start,end,src,dst,bytes,ring\n")
+		for _, tr := range sys.Bus.Trace() {
+			fmt.Printf("%d,%d,%d,%v,%v,%d,%d\n",
+				tr.Issued, tr.Start, tr.End, tr.Src, tr.Dst, tr.Bytes, tr.Ring)
+		}
+	}
+}
+
+// runTimeline drives the simulation in fixed windows, printing per-window
+// EIB and memory-bank traffic so saturation phases are visible over time.
+func runTimeline(sys *cell.System, window int64) {
+	fmt.Printf("\n%12s %10s %10s %10s %10s\n", "cycles", "EIB GB/s", "bank0 GB/s", "bank1 GB/s", "cmds")
+	var prevBytes, prevB0, prevB1, prevCmd int64
+	for {
+		t := sys.Eng.Now() + sim.Time(window)
+		more := sys.Eng.RunUntil(t)
+		st := sys.Bus.Stats()
+		b0 := sys.Mem.BankStats(0)
+		b1 := sys.Mem.BankStats(1)
+		gb := func(d int64) float64 { return float64(d) * 2.1 / float64(window) }
+		r0 := b0.ReadBytes + b0.WriteBytes
+		r1 := b1.ReadBytes + b1.WriteBytes
+		fmt.Printf("%12d %10.2f %10.2f %10.2f %10d\n",
+			sys.Eng.Now(), gb(st.Bytes-prevBytes), gb(r0-prevB0), gb(r1-prevB1), st.Commands-prevCmd)
+		prevBytes, prevB0, prevB1, prevCmd = st.Bytes, r0, r1, st.Commands
+		if !more {
+			return
+		}
+	}
+}

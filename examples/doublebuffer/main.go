@@ -1,0 +1,108 @@
+// Doublebuffer: the paper's §5 rule "double buffering ... will always
+// help performance", shown as a compute kernel. An SPE reads 16 KB blocks
+// from main memory, spends compute cycles on each (here: a byte-wise
+// transform, charged at 1 cycle per 16 bytes as a SIMD loop would be), and
+// writes results back. The serial version waits for each DMA; the
+// double-buffered version overlaps the next GET and the previous PUT with
+// the current block's compute.
+//
+//	go run ./examples/doublebuffer
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cellbe"
+)
+
+const (
+	volume = 4 << 20
+	chunk  = cellbe.MaxDMA
+)
+
+// transform is the "computation": add 1 to every byte. The SPU is charged
+// one cycle per 16-byte quadword, the throughput of a simple SIMD loop.
+func transform(ctx *cellbe.SPUContext, buf []byte) {
+	for i := range buf {
+		buf[i]++
+	}
+	ctx.Wait(cellbe.Time(len(buf) / 16))
+}
+
+func run(double bool) (cellbe.Time, int64, int64) {
+	sys := cellbe.NewSystem(cellbe.DefaultConfig())
+	src := sys.Alloc(volume, 128)
+	dst := sys.Alloc(volume, 128)
+	payload := make([]byte, volume)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	sys.Mem.RAM().Write(src, payload)
+
+	var cycles cellbe.Time
+	sp := sys.SPEs[0]
+	sp.Run("worker", func(ctx *cellbe.SPUContext) {
+		start := ctx.Decrementer()
+		if !double {
+			// Serial: get, compute, put, wait, repeat.
+			for off := int64(0); off < volume; off += chunk {
+				ctx.Get(0, src+off, chunk, 0)
+				ctx.WaitTag(0)
+				transform(ctx, sp.LS()[0:chunk])
+				ctx.Put(0, dst+off, chunk, 0)
+				ctx.WaitTag(0)
+			}
+		} else {
+			// Double buffered: buffer b's GET is issued while buffer
+			// 1-b computes; PUTs are waited only when the slot is
+			// reused two blocks later. Tags: GET of slot b = b,
+			// PUT of slot b = 2+b.
+			blocks := int(volume / chunk)
+			ctx.Get(0, src, chunk, 0)
+			for blk := 0; blk < blocks; blk++ {
+				b := blk % 2
+				if blk+1 < blocks {
+					nb := (blk + 1) % 2
+					// Slot nb must be free of its previous PUT
+					// before the next GET overwrites it.
+					ctx.WaitTag(2 + nb)
+					ctx.Get(nb*chunk, src+int64(blk+1)*chunk, chunk, nb)
+				}
+				ctx.WaitTag(b)
+				transform(ctx, sp.LS()[b*chunk:(b+1)*chunk])
+				ctx.Put(b*chunk, dst+int64(blk)*chunk, chunk, 2+b)
+			}
+			ctx.WaitTagMask(1<<2 | 1<<3)
+		}
+		cycles = ctx.Decrementer() - start
+	})
+	sys.Run()
+
+	// Verify the transform landed in memory.
+	got := make([]byte, volume)
+	sys.Mem.RAM().Read(dst, got)
+	for i := range got {
+		if got[i] != payload[i]+1 {
+			log.Fatalf("byte %d: got %d, want %d", i, got[i], payload[i]+1)
+		}
+	}
+	return cycles, 2 * volume, int64(volume / 16)
+}
+
+func main() {
+	serial, bytes, _ := run(false)
+	overlapped, _, _ := run(true)
+	fmt.Printf("processing %d MB through one SPE (16 KB blocks, SIMD-rate compute):\n", volume>>20)
+	fmt.Printf("  serial (wait per DMA):   %8d cycles  %6.2f GB/s\n", serial, gbps(bytes, serial))
+	fmt.Printf("  double buffered:         %8d cycles  %6.2f GB/s\n", overlapped, gbps(bytes, overlapped))
+	fmt.Printf("  speedup: %.2fx — compute and the GET/PUT turnarounds are hidden;\n",
+		float64(serial)/float64(overlapped))
+	fmt.Println("  what remains is the single-SPE memory-bandwidth floor (~10 GB/s")
+	fmt.Println("  for GET+PUT combined, Figure 8), which no buffering can beat")
+	fmt.Println("results verified byte-exact in both modes")
+}
+
+func gbps(bytes int64, cycles cellbe.Time) float64 {
+	return float64(bytes) * 2.1 / float64(cycles)
+}

@@ -1,0 +1,59 @@
+// Quickstart: build a Cell BE system, run an SPU program that DMAs a
+// buffer from main memory into its local store and back, verify the
+// payload round-trips, and print the measured bandwidth.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"cellbe"
+)
+
+func main() {
+	sys := cellbe.NewSystem(cellbe.DefaultConfig())
+
+	// Fill 1 MB of simulated RAM with a recognizable payload.
+	const volume = 1 << 20
+	src := sys.Alloc(volume, 128)
+	dst := sys.Alloc(volume, 128)
+	payload := make([]byte, volume)
+	for i := range payload {
+		payload[i] = byte(i*7 + i>>11)
+	}
+	sys.Mem.RAM().Write(src, payload)
+
+	// An SPU program: stream the buffer through the local store in
+	// 16 KB DMA chunks, with the paper's delayed-synchronization rule —
+	// issue GET/PUT pairs chained by a fence per buffer slot and wait
+	// for the tag groups only at the end.
+	var cycles cellbe.Time
+	sys.SPEs[0].Run("copy", func(ctx *cellbe.SPUContext) {
+		start := ctx.Decrementer()
+		const chunk = cellbe.MaxDMA
+		slots := 8
+		for off := int64(0); off < volume; off += chunk {
+			slot := int(off/chunk) % slots
+			tag := slot
+			ctx.GetF(slot*chunk, src+off, chunk, tag)
+			ctx.PutF(slot*chunk, dst+off, chunk, tag)
+		}
+		ctx.WaitTagMask(^uint32(0))
+		cycles = ctx.Decrementer() - start
+	})
+
+	sys.Run()
+
+	got := make([]byte, volume)
+	sys.Mem.RAM().Read(dst, got)
+	if !bytes.Equal(got, payload) {
+		log.Fatal("payload mismatch after memory -> LS -> memory copy")
+	}
+
+	fmt.Printf("copied %d MB through SPE0's local store in %d cycles\n", volume>>20, cycles)
+	fmt.Printf("memory copy bandwidth (read+write): %.2f GB/s\n", sys.GBps(2*volume, cycles))
+	fmt.Println("payload verified: memory -> local store -> memory round trip is byte-exact")
+}

@@ -1,0 +1,98 @@
+// Taskfarm: a CellSs-style task runtime demo. A blur-like pipeline of
+// dependent tasks is submitted against main-memory buffers; the runtime
+// infers the dependency graph from operand overlap, farms ready tasks out
+// to four SPE workers, and stages data by DMA. Running the same graph
+// under both data-movement policies shows the paper's guidance at work:
+// forwarding intermediates LS-to-LS (§4.2.3's 33.6 GB/s) beats bouncing
+// them through main memory (~10 GB/s for a lone SPE).
+//
+// A shared atomic counter (MFC getllar/putllc) tallies processed tasks —
+// the Cell's lock-line reservation protocol in action.
+//
+//	go run ./examples/taskfarm
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"cellbe"
+)
+
+const (
+	chainLen = 16
+	bufSize  = 64 << 10
+)
+
+func run(policy cellbe.TaskPolicy) (cellbe.TaskStats, byte) {
+	sys := cellbe.NewSystem(cellbe.DefaultConfig())
+	counter := sys.Alloc(128, 128)
+
+	bufs := make([]int64, chainLen+1)
+	for i := range bufs {
+		bufs[i] = sys.Alloc(bufSize, 128)
+	}
+	seed := make([]byte, bufSize)
+	for i := range seed {
+		seed[i] = byte(i % 251)
+	}
+	sys.Mem.RAM().Write(bufs[0], seed)
+
+	rt := cellbe.NewTaskRuntime(sys, []int{0, 1, 2, 3}, policy)
+	for i := 0; i < chainLen; i++ {
+		rt.Submit(&cellbe.Task{
+			Name:          fmt.Sprintf("stage%d", i),
+			Inputs:        []cellbe.TaskBuffer{{EA: bufs[i], Size: bufSize}},
+			Outputs:       []cellbe.TaskBuffer{{EA: bufs[i+1], Size: bufSize}},
+			ComputeCycles: bufSize / 16, // SIMD-rate pass over the block
+			Compute: func(in, out [][]byte) {
+				for j := range out[0] {
+					out[0][j] = in[0][j] + 1
+				}
+			},
+		})
+	}
+	st := rt.Run()
+
+	// Tally with the atomic counter from a fresh kernel on each worker
+	// (demonstrating getllar/putllc under contention).
+	for w := 0; w < 4; w++ {
+		n := uint32(st.PerWorker[w])
+		sys.SPEs[w].Run("tally", func(ctx *cellbe.SPUContext) {
+			if n > 0 {
+				ctx.AtomicAdd32(counter, n)
+			}
+		})
+	}
+	sys.Run()
+
+	cnt := make([]byte, 4)
+	sys.Mem.RAM().Read(counter, cnt)
+	if got := binary.LittleEndian.Uint32(cnt); got != chainLen {
+		log.Fatalf("atomic tally %d, want %d", got, chainLen)
+	}
+
+	final := make([]byte, bufSize)
+	sys.Mem.RAM().Read(bufs[chainLen], final)
+	for i := range final {
+		if final[i] != seed[i]+chainLen {
+			log.Fatalf("byte %d: got %d want %d", i, final[i], seed[i]+chainLen)
+		}
+	}
+	return st, final[0]
+}
+
+func main() {
+	fmt.Printf("task chain: %d dependent stages over %d KB blocks, 4 SPE workers\n\n", chainLen, bufSize>>10)
+	mem, _ := run(cellbe.ThroughMemory)
+	fwd, _ := run(cellbe.Forwarding)
+	us := func(c cellbe.Time) float64 { return float64(c) / 2.1e3 }
+	fmt.Printf("  through-memory: %8d cycles (%.1f us), %d MB staged\n",
+		mem.Cycles, us(mem.Cycles), mem.BytesStaged>>20)
+	fmt.Printf("  forwarding:     %8d cycles (%.1f us), %d LS-to-LS + %d in-place of %d inputs\n",
+		fwd.Cycles, us(fwd.Cycles), fwd.ForwardedLS, fwd.ReusedInLS, fwd.Tasks)
+	fmt.Printf("  speedup: %.2fx from keeping intermediates on-chip\n",
+		float64(mem.Cycles)/float64(fwd.Cycles))
+	fmt.Println("\nresults verified byte-exact; atomic task tally verified via getllar/putllc")
+}

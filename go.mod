@@ -1,0 +1,3 @@
+module cellbe
+
+go 1.22

@@ -1,0 +1,157 @@
+package cell
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"cellbe/internal/spe"
+)
+
+func TestGetLLARPutLLCBasic(t *testing.T) {
+	s := New(DefaultConfig())
+	addr := s.Alloc(128, 128)
+	s.Mem.RAM().Write(addr, []byte{42})
+	var loaded byte
+	var stored bool
+	s.SPEs[0].Run("k", func(ctx *spe.Context) {
+		ctx.GetLLAR(0, addr)
+		loaded = ctx.SPE().LS()[0]
+		ctx.SPE().LS()[0] = 43
+		stored = ctx.PutLLC(0, addr)
+	})
+	s.Run()
+	if loaded != 42 {
+		t.Fatalf("getllar loaded %d, want 42", loaded)
+	}
+	if !stored {
+		t.Fatal("uncontended putllc must succeed")
+	}
+	got := make([]byte, 1)
+	s.Mem.RAM().Read(addr, got)
+	if got[0] != 43 {
+		t.Fatalf("memory holds %d after putllc, want 43", got[0])
+	}
+}
+
+func TestPutLLCFailsAfterInterveningWrite(t *testing.T) {
+	s := New(DefaultConfig())
+	addr := s.Alloc(128, 128)
+	a, b := s.SPEs[0], s.SPEs[1]
+	var stored bool
+	a.Run("reserver", func(ctx *spe.Context) {
+		ctx.GetLLAR(0, addr)
+		// Hand off to SPE1, which writes the line via ordinary DMA.
+		b.Inbox.Write(ctx.Process, 1)
+		ctx.ReadMailbox() // wait for the intervening write
+		ctx.SPE().LS()[0] = 9
+		stored = ctx.PutLLC(0, addr)
+	})
+	b.Run("intruder", func(ctx *spe.Context) {
+		ctx.ReadMailbox()
+		ctx.SPE().LS()[0] = 7
+		ctx.Put(0, addr, 128, 0)
+		ctx.WaitTag(0)
+		a.Inbox.Write(ctx.Process, 1)
+	})
+	s.Run()
+	if stored {
+		t.Fatal("putllc must fail after an intervening DMA write to the line")
+	}
+	got := make([]byte, 1)
+	s.Mem.RAM().Read(addr, got)
+	if got[0] != 7 {
+		t.Fatalf("memory holds %d, want the intruder's 7", got[0])
+	}
+}
+
+func TestPutLLCWithoutReservationFails(t *testing.T) {
+	s := New(DefaultConfig())
+	addr := s.Alloc(128, 128)
+	var stored bool
+	s.SPEs[0].Run("k", func(ctx *spe.Context) {
+		stored = ctx.PutLLC(0, addr)
+	})
+	s.Run()
+	if stored {
+		t.Fatal("putllc without a reservation must fail")
+	}
+}
+
+func TestAtomicAdd32Contended(t *testing.T) {
+	// All 8 SPEs increment one shared counter concurrently; the final
+	// value must be exact — the fundamental mutual-exclusion property.
+	s := New(DefaultConfig())
+	addr := s.Alloc(128, 128)
+	const perSPE = 25
+	for i := 0; i < NumSPEs; i++ {
+		s.SPEs[i].Run("adder", func(ctx *spe.Context) {
+			for n := 0; n < perSPE; n++ {
+				ctx.AtomicAdd32(addr, 1)
+			}
+		})
+	}
+	s.Run()
+	got := make([]byte, 4)
+	s.Mem.RAM().Read(addr, got)
+	if v := binary.LittleEndian.Uint32(got); v != NumSPEs*perSPE {
+		t.Fatalf("counter = %d, want %d (lost updates!)", v, NumSPEs*perSPE)
+	}
+}
+
+func TestSpinlockMutualExclusion(t *testing.T) {
+	// A non-atomic read-modify-write protected by the spinlock: without
+	// mutual exclusion the interleaved DMA GET/PUT pairs would lose
+	// updates.
+	s := New(DefaultConfig())
+	lock := s.Alloc(128, 128)
+	counter := s.Alloc(128, 128)
+	const perSPE = 10
+	var inCritical int
+	var maxInCritical int
+	for i := 0; i < 4; i++ {
+		s.SPEs[i].Run("locker", func(ctx *spe.Context) {
+			for n := 0; n < perSPE; n++ {
+				ctx.Lock(lock)
+				inCritical++
+				if inCritical > maxInCritical {
+					maxInCritical = inCritical
+				}
+				// Plain (racy without the lock) increment via DMA.
+				ctx.Get(1024, counter, 128, 1)
+				ctx.WaitTag(1)
+				ls := ctx.SPE().LS()
+				v := binary.LittleEndian.Uint32(ls[1024:])
+				ctx.Wait(50) // widen the race window
+				binary.LittleEndian.PutUint32(ls[1024:], v+1)
+				ctx.Put(1024, counter, 128, 1)
+				ctx.WaitTag(1)
+				inCritical--
+				ctx.Unlock(lock)
+			}
+		})
+	}
+	s.Run()
+	if maxInCritical != 1 {
+		t.Fatalf("%d SPEs inside the critical section at once", maxInCritical)
+	}
+	got := make([]byte, 4)
+	s.Mem.RAM().Read(counter, got)
+	if v := binary.LittleEndian.Uint32(got); v != 4*perSPE {
+		t.Fatalf("locked counter = %d, want %d", v, 4*perSPE)
+	}
+}
+
+func TestAtomicsOnLSAddressPanics(t *testing.T) {
+	s := New(DefaultConfig())
+	s.SPEs[0].Run("k", func(ctx *spe.Context) {
+		defer func() {
+			if recover() == nil {
+				t.Error("atomics on an LS EA should panic")
+			}
+			panic("rethrow")
+		}()
+		ctx.GetLLAR(0, s.LSEA(1, 0))
+	})
+	defer func() { recover() }()
+	s.Run()
+}

@@ -1,0 +1,283 @@
+// Package cell assembles the full Cell Broadband Engine system model: the
+// PPE, eight SPEs, the MIC-attached XDR memory and the IOIF-attached
+// remote bank, all wired to the Element Interconnect Bus, plus the
+// effective-address map that routes DMA between main memory and
+// memory-mapped local stores.
+//
+// It also owns the experimental platform quirks the paper documents: the
+// 2.1 GHz clock, the dual-bank NUMA allocation, and the opaque
+// logical-to-physical SPE mapping ("the current API does not allow the
+// programmer to control such layout"), which is modeled as a seeded random
+// permutation so experiments can sample layouts the way the paper samples
+// runs.
+package cell
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cellbe/internal/eib"
+	"cellbe/internal/mfc"
+	"cellbe/internal/ppe"
+	"cellbe/internal/sim"
+	"cellbe/internal/spe"
+	"cellbe/internal/xdr"
+)
+
+// NumSPEs is the number of Synergistic Processor Elements on a CBE chip.
+const NumSPEs = 8
+
+// Config assembles the component configurations plus system-level layout.
+type Config struct {
+	// ClockGHz is the CPU clock; cycles-to-GB/s conversion uses it.
+	ClockGHz float64
+	// EIB, Mem, MFC, SPU, PPE configure the respective component models.
+	EIB eib.Config
+	Mem xdr.Config
+	MFC mfc.Config
+	SPU spe.Config
+	PPE ppe.Config
+	// Layout maps logical SPE index (what the program sees) to physical
+	// SPE number (which fixes the EIB ramp). nil means identity. Use
+	// RandomLayout to sample mappings as the paper's repeated runs do.
+	Layout []int
+	// LSBase is the effective address where local stores are mapped;
+	// logical SPE i's LS occupies [LSBase+i*LSSpan, +LocalStoreBytes).
+	LSBase int64
+	// LSSpan is the EA stride between consecutive SPEs' local stores.
+	LSSpan int64
+	// NoiseEvery/NoiseCycles inject periodic OS interference: every
+	// NoiseEvery cycles the MIC-side bank is stolen for NoiseCycles.
+	// Off by default; the paper's warm-up discipline exists precisely to
+	// exclude this — it is a failure-injection knob for tests.
+	NoiseEvery  sim.Time
+	NoiseCycles sim.Time
+}
+
+// DefaultConfig returns the calibrated configuration of the paper's
+// dual-Cell blade (one active chip at 2.1 GHz, both memory banks).
+func DefaultConfig() Config {
+	return Config{
+		ClockGHz: 2.1,
+		EIB:      eib.DefaultConfig(),
+		Mem:      xdr.DefaultConfig(),
+		MFC:      mfc.DefaultConfig(),
+		SPU:      spe.DefaultConfig(),
+		PPE:      ppe.DefaultConfig(),
+		LSBase:   1 << 30, // local stores mapped at 1 GB, above the 512 MB of RAM
+		LSSpan:   1 << 20,
+	}
+}
+
+// RandomLayout returns a logical-to-physical SPE permutation drawn from
+// seed. Seed 0 returns the identity mapping.
+func RandomLayout(seed int64) []int {
+	if seed == 0 {
+		layout := make([]int, NumSPEs)
+		for i := range layout {
+			layout[i] = i
+		}
+		return layout
+	}
+	return rand.New(rand.NewSource(seed)).Perm(NumSPEs)
+}
+
+// System is a fully wired Cell BE machine model.
+type System struct {
+	Eng  *sim.Engine
+	Bus  *eib.EIB
+	Mem  *xdr.Memory
+	PPE  *ppe.PPE
+	SPEs []*spe.SPE // indexed by logical SPE number
+
+	cfg       Config
+	allocNext int64
+	resv      *reservations
+	rem       *remoteChip
+}
+
+// New builds a system from cfg.
+func New(cfg Config) *System {
+	if cfg.ClockGHz <= 0 {
+		panic("cell: clock must be positive")
+	}
+	layout := cfg.Layout
+	if layout == nil {
+		layout = RandomLayout(0)
+	}
+	if len(layout) != NumSPEs {
+		panic(fmt.Sprintf("cell: layout must have %d entries", NumSPEs))
+	}
+	seen := make(map[int]bool)
+	for _, p := range layout {
+		if p < 0 || p >= NumSPEs || seen[p] {
+			panic(fmt.Sprintf("cell: layout %v is not a permutation", layout))
+		}
+		seen[p] = true
+	}
+	if cfg.LSSpan < spe.LocalStoreBytes || cfg.LSBase < cfg.Mem.TotalBytes {
+		panic("cell: LS mapping overlaps RAM")
+	}
+
+	eng := sim.NewEngine()
+	bus := eib.New(eng, cfg.EIB)
+	memCfg := cfg.Mem
+	memCfg.NoisePeriod = cfg.NoiseEvery
+	memCfg.NoiseCycles = cfg.NoiseCycles
+	mem := xdr.New(eng, bus, memCfg)
+	s := &System{Eng: eng, Bus: bus, Mem: mem, cfg: cfg, resv: newReservations()}
+	s.cfg.Layout = layout
+
+	for logical := 0; logical < NumSPEs; logical++ {
+		ramp := eib.PhysicalSPERamp(layout[logical])
+		fab := &fabric{sys: s, ramp: ramp}
+		s.SPEs = append(s.SPEs, spe.New(eng, logical, ramp, fab, cfg.SPU, cfg.MFC))
+	}
+	s.PPE = ppe.New(eng, &ppePort{sys: s}, cfg.PPE)
+	return s
+}
+
+// Config returns the system configuration (with the resolved layout).
+func (s *System) Config() Config { return s.cfg }
+
+// Layout returns the logical-to-physical SPE mapping in use.
+func (s *System) Layout() []int { return append([]int(nil), s.cfg.Layout...) }
+
+// Run drives the simulation until no events remain.
+func (s *System) Run() { s.Eng.Run() }
+
+// GBps converts bytes moved in cycles into GB/s at the system clock.
+func (s *System) GBps(bytes int64, cycles sim.Time) float64 {
+	if cycles <= 0 {
+		return 0
+	}
+	return float64(bytes) * s.cfg.ClockGHz / float64(cycles)
+}
+
+// LSEA returns the effective address of byte off inside logical SPE i's
+// local store, as seen by DMA engines.
+func (s *System) LSEA(logical, off int) int64 {
+	if logical < 0 || logical >= NumSPEs {
+		panic(fmt.Sprintf("cell: bad SPE index %d", logical))
+	}
+	if off < 0 || off >= spe.LocalStoreBytes {
+		panic(fmt.Sprintf("cell: bad LS offset %#x", off))
+	}
+	return s.cfg.LSBase + int64(logical)*s.cfg.LSSpan + int64(off)
+}
+
+// Alloc reserves size bytes of main memory aligned to align and returns
+// its effective address. It is a bump allocator for experiment buffers.
+func (s *System) Alloc(size int64, align int64) int64 {
+	if align <= 0 {
+		align = 128
+	}
+	addr := (s.allocNext + align - 1) / align * align
+	if addr+size > s.cfg.Mem.TotalBytes {
+		panic("cell: out of simulated memory")
+	}
+	s.allocNext = addr + size
+	return addr
+}
+
+// resolveLS maps an effective address to (logical SPE, LS offset) when it
+// falls in the local store aperture.
+func (s *System) resolveLS(ea int64) (logical, off int, ok bool) {
+	if ea < s.cfg.LSBase {
+		return 0, 0, false
+	}
+	idx := (ea - s.cfg.LSBase) / s.cfg.LSSpan
+	if idx >= NumSPEs {
+		panic(fmt.Sprintf("cell: EA %#x beyond the LS aperture", ea))
+	}
+	off64 := (ea - s.cfg.LSBase) % s.cfg.LSSpan
+	if off64 >= spe.LocalStoreBytes+8 {
+		panic(fmt.Sprintf("cell: EA %#x falls in an unmapped LS hole", ea))
+	}
+	return int(idx), int(off64), true
+}
+
+// SignalEA returns the memory-mapped address of logical SPE i's signal
+// notification register reg (0 or 1).
+func (s *System) SignalEA(logical, reg int) int64 {
+	if reg != 0 && reg != 1 {
+		panic("cell: signal register must be 0 or 1")
+	}
+	if logical < 0 || logical >= NumSPEs {
+		panic(fmt.Sprintf("cell: bad SPE index %d", logical))
+	}
+	return s.cfg.LSBase + int64(logical)*s.cfg.LSSpan + spe.SNROffset + int64(4*reg)
+}
+
+// fabric routes one SPE's DMA line requests: to main memory via the
+// MIC/IOIF, or to another SPE's memory-mapped local store.
+type fabric struct {
+	sys  *System
+	ramp eib.RampID
+}
+
+func (f *fabric) ReadEA(ea int64, n int, earliest sim.Time, dst []byte, done func(end sim.Time)) {
+	sys := f.sys
+	if remote, off, ok := sys.resolveRemoteLS(ea); ok {
+		f.readRemote(remote, off, n, earliest, dst, done)
+		return
+	}
+	if logical, off, ok := sys.resolveLS(ea); ok {
+		target := sys.SPEs[logical]
+		ready := sys.Bus.Command(earliest)
+		sys.Bus.Transfer(target.Ramp(), f.ramp, n, ready, func(end sim.Time) {
+			if dst != nil {
+				copy(dst, target.LS()[off:off+n])
+			}
+			done(end)
+		})
+		return
+	}
+	sys.Mem.Read(f.ramp, ea, n, earliest, dst, done)
+}
+
+func (f *fabric) WriteEA(ea int64, n int, earliest sim.Time, src []byte, done func(end sim.Time)) {
+	sys := f.sys
+	if remote, off, ok := sys.resolveRemoteLS(ea); ok {
+		f.writeRemote(remote, off, n, earliest, src, done)
+		return
+	}
+	if logical, off, ok := sys.resolveLS(ea); ok {
+		target := sys.SPEs[logical]
+		ready := sys.Bus.Command(earliest)
+		sys.Bus.Transfer(f.ramp, target.Ramp(), n, ready, func(end sim.Time) {
+			if off >= spe.SNROffset {
+				// A 4-byte store landing on a signal notification
+				// register ORs into it.
+				if n == 4 && src != nil {
+					reg := (off - spe.SNROffset) / 4
+					v := uint32(src[0]) | uint32(src[1])<<8 | uint32(src[2])<<16 | uint32(src[3])<<24
+					target.WriteSignal(reg, v)
+				}
+			} else if src != nil {
+				copy(target.LS()[off:off+n], src[:n])
+			}
+			done(end)
+		})
+		return
+	}
+	// Any store to a line kills reservations on it (coherence point).
+	sys.Mem.Write(f.ramp, ea, n, earliest, src, func(end sim.Time) {
+		sys.resv.kill(lineOf(ea))
+		done(end)
+	})
+}
+
+// ppePort is the PPE's line-fill path over the EIB to main memory.
+type ppePort struct{ sys *System }
+
+func (p *ppePort) ReadLine(addr int64, earliest sim.Time, done func(end sim.Time)) {
+	p.sys.Mem.Read(eib.RampPPE, addr, xdr.LineBytes, earliest, nil, done)
+}
+
+func (p *ppePort) WriteLine(addr int64, earliest sim.Time, done func(end sim.Time)) {
+	p.sys.Mem.Write(eib.RampPPE, addr, xdr.LineBytes, earliest, nil, func(end sim.Time) {
+		p.sys.resv.kill(lineOf(addr))
+		done(end)
+	})
+}

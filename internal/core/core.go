@@ -1,0 +1,152 @@
+// Package core implements the paper's contribution: the microbenchmark
+// suite that measures sustainable bandwidth between every pair of Cell BE
+// components — PPE to caches and memory (Figs. 3, 4, 6), SPE to memory
+// (Fig. 8), SPU to local store (§4.2.2), SPE to SPE with delayed
+// synchronization (Fig. 10), couples of SPEs (Figs. 12, 13), cycles of
+// SPEs (Figs. 15, 16) — plus the streaming-pipeline experiment behind the
+// paper's "two streams of 4 SPEs beat one stream of 8" guidance.
+//
+// Each experiment builds fresh systems (one per run, with a different
+// logical-to-physical SPE layout, as the paper does with its 10 repeated
+// runs), drives SPU/PPU kernel coroutines, and reports bandwidth curves
+// with min/max/median/average summaries.
+package core
+
+import (
+	"fmt"
+
+	"cellbe/internal/cell"
+	"cellbe/internal/stats"
+)
+
+// ChunkSizes is the DMA element-size sweep of the paper: 128 bytes to the
+// architectural maximum of 16 KB.
+var ChunkSizes = []int{128, 256, 512, 1024, 2048, 4096, 8192, 16384}
+
+// ElemSizes is the load/store access-width sweep: 1 byte to a full
+// 128-bit register.
+var ElemSizes = []int{1, 2, 4, 8, 16}
+
+// SPECounts is the SPE scaling sweep.
+var SPECounts = []int{1, 2, 4, 8}
+
+// Params controls an experiment run.
+type Params struct {
+	// Runs is how many times each configuration is repeated, each with a
+	// different logical-to-physical SPE layout (the paper uses 10).
+	Runs int
+	// BytesPerSPE is the weak-scaling transfer volume per SPE. The paper
+	// moves 32 MB per SPE; the default here is smaller for quick runs —
+	// steady state is reached long before that.
+	BytesPerSPE int64
+	// PPEBytes is the traversal volume for PPE main-memory experiments.
+	PPEBytes int64
+	// Base is the system configuration; zero value means
+	// cell.DefaultConfig.
+	Base *cell.Config
+	// FirstSeed offsets the layout seeds (seed 0 is the identity layout;
+	// runs use FirstSeed, FirstSeed+1, ...).
+	FirstSeed int64
+}
+
+// DefaultParams returns quick-run parameters: 10 layout samples, 2 MB per
+// SPE.
+func DefaultParams() Params {
+	return Params{
+		Runs:        10,
+		BytesPerSPE: 2 << 20,
+		PPEBytes:    2 << 20,
+		FirstSeed:   1,
+	}
+}
+
+// PaperParams returns the full-volume parameters matching the paper's
+// setup (slower; use for final numbers).
+func PaperParams() Params {
+	p := DefaultParams()
+	p.BytesPerSPE = 32 << 20
+	p.PPEBytes = 32 << 20
+	return p
+}
+
+func (p Params) config() cell.Config {
+	if p.Base != nil {
+		return *p.Base
+	}
+	return cell.DefaultConfig()
+}
+
+func (p Params) validate() error {
+	if p.Runs <= 0 {
+		return fmt.Errorf("core: Runs must be positive")
+	}
+	if p.BytesPerSPE < 16384 || p.BytesPerSPE%16384 != 0 {
+		return fmt.Errorf("core: BytesPerSPE must be a positive multiple of 16 KB")
+	}
+	if p.PPEBytes < 4096 || p.PPEBytes%128 != 0 {
+		return fmt.Errorf("core: PPEBytes must be a multiple of the line size")
+	}
+	return nil
+}
+
+// newSystem builds a system for run r of the sweep.
+func (p Params) newSystem(run int) *cell.System {
+	cfg := p.config()
+	cfg.Layout = cell.RandomLayout(p.FirstSeed + int64(run))
+	return cell.New(cfg)
+}
+
+// Point is one x position of a curve with its cross-run summary.
+type Point struct {
+	X       int
+	Summary stats.Summary
+}
+
+// Curve is one labeled series of a figure.
+type Curve struct {
+	Label  string
+	Points []Point
+}
+
+// Result is a reproduced figure: a set of curves over a common x axis.
+type Result struct {
+	Name   string // experiment id, e.g. "spe-mem"
+	Title  string // paper reference, e.g. "Figure 8: SPE to memory"
+	XLabel string
+	YLabel string
+	Curves []Curve
+}
+
+// Curve returns the curve with the given label, or nil.
+func (r *Result) Curve(label string) *Curve {
+	for i := range r.Curves {
+		if r.Curves[i].Label == label {
+			return &r.Curves[i]
+		}
+	}
+	return nil
+}
+
+// At returns the summary at x on the labeled curve; ok is false when the
+// curve or point does not exist.
+func (r *Result) At(label string, x int) (stats.Summary, bool) {
+	c := r.Curve(label)
+	if c == nil {
+		return stats.Summary{}, false
+	}
+	for _, pt := range c.Points {
+		if pt.X == x {
+			return pt.Summary, true
+		}
+	}
+	return stats.Summary{}, false
+}
+
+// curveFromSeries converts collected samples to a Curve.
+func curveFromSeries(s *stats.Series) Curve {
+	c := Curve{Label: s.Label}
+	for i, x := range s.Xs {
+		c.Points = append(c.Points, Point{X: x, Summary: stats.Summarize(s.Values[i])})
+	}
+	return c
+}

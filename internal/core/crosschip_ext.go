@@ -1,0 +1,59 @@
+package core
+
+// Cross-chip extension: the paper's §5 closes with a warning — on a
+// dual-Cell blade, SPEs of one job "could be allocated in different
+// chips, and they would have to communicate through the IO, limited to
+// 7 [GB/s]". This experiment quantifies it: the same active/passive SPE
+// pair workload, with the partner on the local chip versus on the second
+// chip behind the IOIF.
+
+import (
+	"fmt"
+
+	"cellbe/internal/spe"
+	"cellbe/internal/stats"
+)
+
+// CrossChip measures pair bandwidth (simultaneous GET+PUT, delayed sync)
+// against an on-chip partner and a second-chip partner, across element
+// sizes.
+func CrossChip(p Params) (*Result, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Name:   "cross-chip",
+		Title:  "Extension (§5 warning): SPE pair bandwidth, on-chip vs across the IOIF",
+		XLabel: "element size (bytes)",
+		YLabel: "GB/s",
+	}
+	for _, remote := range []bool{false, true} {
+		label := "on-chip partner"
+		if remote {
+			label = "cross-chip partner"
+		}
+		series := stats.NewSeries(label, ChunkSizes)
+		for _, chunk := range ChunkSizes {
+			chunk, remote := chunk, remote
+			addRuns(p, series, chunk, func(run int) float64 {
+				return runCrossChip(p, run, chunk, remote)
+			})
+		}
+		res.Curves = append(res.Curves, curveFromSeries(series))
+	}
+	return res, nil
+}
+
+func runCrossChip(p Params, run, chunk int, remote bool) float64 {
+	sys := p.newSystem(run)
+	peer := sys.LSEA(1, 0)
+	if remote {
+		peer = sys.RemoteLSEA(0, 0)
+	}
+	volume := p.BytesPerSPE
+	a := newAggregate(sys)
+	a.spawn(0, fmt.Sprintf("pair-remote=%v", remote), 2*volume, func(ctx *spe.Context) {
+		pairStreamKernel(ctx, peer, volume, chunk, 0)
+	})
+	return a.run()
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// forEachRun evaluates measure once per layout run, in parallel when the
+// host has spare cores. Each run builds its own System (its own event
+// engine), so runs are fully independent and results stay deterministic —
+// only wall-clock time changes. The returned slice is indexed by run.
+func forEachRun(p Params, measure func(run int) float64) []float64 {
+	out := make([]float64, p.Runs)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > p.Runs {
+		workers = p.Runs
+	}
+	if workers <= 1 {
+		for r := 0; r < p.Runs; r++ {
+			out[r] = measure(r)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := range next {
+				out[r] = measure(r)
+			}
+		}()
+	}
+	for r := 0; r < p.Runs; r++ {
+		next <- r
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// addRuns measures all runs (in parallel) and adds them to a series point.
+func addRuns(p Params, series interface{ Add(int, float64) }, x int, measure func(run int) float64) {
+	for _, v := range forEachRun(p, measure) {
+		series.Add(x, v)
+	}
+}

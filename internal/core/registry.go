@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Experiment is a named, runnable reproduction of one of the paper's
+// figures (or a documented extension).
+type Experiment struct {
+	// Name is the CLI identifier.
+	Name string
+	// Figure cites what the experiment reproduces.
+	Figure string
+	// Description says what is measured.
+	Description string
+	// Run executes the experiment.
+	Run func(Params) (*Result, error)
+}
+
+// Registry lists every experiment, keyed by name.
+var registry = map[string]Experiment{
+	"ppe-l1": {
+		Name: "ppe-l1", Figure: "Figure 3",
+		Description: "PPE to L1 cache: load/store/copy, 1-16 byte elements, 1 and 2 threads",
+		Run:         func(p Params) (*Result, error) { return PPEBandwidth(p, LevelL1) },
+	},
+	"ppe-l2": {
+		Name: "ppe-l2", Figure: "Figure 4",
+		Description: "PPE to L2 cache: load/store/copy, 1-16 byte elements, 1 and 2 threads",
+		Run:         func(p Params) (*Result, error) { return PPEBandwidth(p, LevelL2) },
+	},
+	"ppe-mem": {
+		Name: "ppe-mem", Figure: "Figure 6",
+		Description: "PPE to main memory: load/store/copy, 1-16 byte elements, 1 and 2 threads",
+		Run:         func(p Params) (*Result, error) { return PPEBandwidth(p, LevelMem) },
+	},
+	"spe-mem-get": {
+		Name: "spe-mem-get", Figure: "Figure 8(a)",
+		Description: "SPE to memory DMA-elem GET, 1-8 SPEs, 128B-16KB elements",
+		Run:         func(p Params) (*Result, error) { return SPEMemory(p, DMAGet, false) },
+	},
+	"spe-mem-put": {
+		Name: "spe-mem-put", Figure: "Figure 8(b)",
+		Description: "SPE to memory DMA-elem PUT, 1-8 SPEs, 128B-16KB elements",
+		Run:         func(p Params) (*Result, error) { return SPEMemory(p, DMAPut, false) },
+	},
+	"spe-mem-copy": {
+		Name: "spe-mem-copy", Figure: "Figure 8(c)",
+		Description: "SPE to memory DMA-elem GET+PUT copy, 1-8 SPEs, 128B-16KB elements",
+		Run:         func(p Params) (*Result, error) { return SPEMemory(p, DMACopy, false) },
+	},
+	"spe-mem-get-list": {
+		Name: "spe-mem-get-list", Figure: "extension of Figure 8",
+		Description: "SPE to memory DMA-list GET (extension: list commands against memory)",
+		Run:         func(p Params) (*Result, error) { return SPEMemory(p, DMAGet, true) },
+	},
+	"spe-ls": {
+		Name: "spe-ls", Figure: "§4.2.2",
+		Description: "SPU to its own Local Store: load/store/copy, 1-16 byte accesses",
+		Run:         SPELocalStore,
+	},
+	"spe-pair-sync": {
+		Name: "spe-pair-sync", Figure: "Figure 10",
+		Description: "SPE pair, DMA-elem, synchronizing after every 1/2/4/.../all requests",
+		Run:         SPEPairSync,
+	},
+	"spe-pair-distance": {
+		Name: "spe-pair-distance", Figure: "§4.2.3",
+		Description: "SPE 0 to each other logical SPE: physical distance effect on one pair",
+		Run:         SPEPairDistance,
+	},
+	"spe-couples": {
+		Name: "spe-couples", Figure: "Figures 12(a), 13(a)",
+		Description: "1/2/4 couples of SPEs (active+passive), DMA-elem",
+		Run:         func(p Params) (*Result, error) { return SPECouples(p, false) },
+	},
+	"spe-couples-list": {
+		Name: "spe-couples-list", Figure: "Figures 12(b), 13(b)",
+		Description: "1/2/4 couples of SPEs (active+passive), DMA-list",
+		Run:         func(p Params) (*Result, error) { return SPECouples(p, true) },
+	},
+	"spe-cycle": {
+		Name: "spe-cycle", Figure: "Figures 15(a), 16(a)",
+		Description: "Cycle of 2/4/8 SPEs, all active with their neighbor, DMA-elem",
+		Run:         func(p Params) (*Result, error) { return SPECycle(p, false) },
+	},
+	"spe-cycle-list": {
+		Name: "spe-cycle-list", Figure: "Figures 15(b), 16(b)",
+		Description: "Cycle of 2/4/8 SPEs, all active with their neighbor, DMA-list",
+		Run:         func(p Params) (*Result, error) { return SPECycle(p, true) },
+	},
+	"streaming": {
+		Name: "streaming", Figure: "§1, §5",
+		Description: "Streaming pipelines: 1x8 vs 2x4 vs 4x2 SPEs over 8 SPEs total",
+		Run:         Streaming,
+	},
+	"kernels": {
+		Name: "kernels", Figure: "extension (§5 future work)",
+		Description: "Streamed compute kernels (dot, matvec, matmul): GFLOPS by SPE count",
+		Run:         ComputeKernels,
+	},
+	"stream": {
+		Name: "stream", Figure: "extension (after McCalpin)",
+		Description: "STREAM copy/scale/add/triad on SPEs: GB/s by SPE count",
+		Run:         STREAM,
+	},
+	"cross-chip": {
+		Name: "cross-chip", Figure: "extension (§5 warning)",
+		Description: "SPE pair bandwidth: on-chip partner vs second-chip partner behind the IOIF",
+		Run:         CrossChip,
+	},
+	"task-chain": {
+		Name: "task-chain", Figure: "extension (CellSs, §2/§5)",
+		Description: "Task runtime: dependent chain under through-memory vs LS-forwarding policies",
+		Run:         TaskChain,
+	},
+	"dma-latency": {
+		Name: "dma-latency", Figure: "extension (after Kistler et al.)",
+		Description: "Synchronous DMA round-trip latency by size, LS-to-LS and memory",
+		Run:         DMALatency,
+	},
+}
+
+// Experiments returns all experiments sorted by name.
+func Experiments() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Lookup finds an experiment by name.
+func Lookup(name string) (Experiment, error) {
+	e, ok := registry[name]
+	if !ok {
+		return Experiment{}, fmt.Errorf("core: unknown experiment %q (use one of %v)", name, names())
+	}
+	return e, nil
+}
+
+func names() []string {
+	var ns []string
+	for n := range registry {
+		ns = append(ns, n)
+	}
+	sort.Strings(ns)
+	return ns
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+
+	"cellbe/internal/spe"
+	"cellbe/internal/stats"
+)
+
+// SPEMemory reproduces Figure 8: DMA-elem GET, PUT and GET+PUT between
+// SPEs and main memory, for 1 to 8 active SPEs (weak scaling: an
+// independent region per SPE) and element sizes 128 B to 16 KB. Each
+// configuration is repeated across Runs logical-to-physical layouts and
+// the average reported, as in the paper. Set list to run the DMA-list
+// variant instead (an extension: the paper reports get/put list
+// differences only for SPE-to-SPE transfers).
+func SPEMemory(p Params, op DMAOp, list bool) (*Result, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	kind := "DMA-elem"
+	if list {
+		kind = "DMA-list"
+	}
+	res := &Result{
+		Name:   "spe-mem",
+		Title:  fmt.Sprintf("SPE to memory %s transfers (%s), 1 to 8 SPEs", op, kind),
+		XLabel: "element size (bytes)",
+		YLabel: "GB/s",
+	}
+	for _, n := range SPECounts {
+		series := stats.NewSeries(fmt.Sprintf("%d SPE", n), ChunkSizes)
+		for _, chunk := range ChunkSizes {
+			chunk := chunk
+			addRuns(p, series, chunk, func(run int) float64 {
+				return runSPEMemory(p, run, n, chunk, op, list)
+			})
+		}
+		res.Curves = append(res.Curves, curveFromSeries(series))
+	}
+	return res, nil
+}
+
+func runSPEMemory(p Params, run, n, chunk int, op DMAOp, list bool) float64 {
+	if list && op == DMACopy {
+		panic("core: list copy kernel not defined by the paper")
+	}
+	sys := p.newSystem(run)
+	a := newAggregate(sys)
+	volume := p.BytesPerSPE
+	for i := 0; i < n; i++ {
+		base := sys.Alloc(volume, 1<<16)
+		dst := base
+		counted := volume
+		if op == DMACopy {
+			dst = sys.Alloc(volume, 1<<16)
+			counted = 2 * volume
+		}
+		a.spawn(i, fmt.Sprintf("mem-spe%d", i), counted, func(ctx *spe.Context) {
+			if list {
+				memListKernel(ctx, op, base, volume, chunk)
+			} else {
+				memStreamKernel(ctx, op, base, dst, volume, chunk)
+			}
+		})
+	}
+	return a.run()
+}
+
+// SPELocalStore reproduces §4.2.2: SPU load/store/copy bandwidth against
+// its own local store for access widths of 1 to 16 bytes. Only 16-byte
+// accesses reach the 33.6 GB/s peak; the SPU ISA has no narrower loads, so
+// smaller accesses pay extract/merge overhead.
+func SPELocalStore(p Params) (*Result, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Name:   "spe-ls",
+		Title:  "SPU to Local Store load/store bandwidth (§4.2.2)",
+		XLabel: "element size (bytes)",
+		YLabel: "GB/s",
+	}
+	volume := 16 << 20 // pure compute-side loop; cheap to simulate
+	for _, op := range []spe.LSOp{spe.LSLoad, spe.LSStore, spe.LSCopy} {
+		label := map[spe.LSOp]string{spe.LSLoad: "load", spe.LSStore: "store", spe.LSCopy: "copy"}[op]
+		series := stats.NewSeries(label, ElemSizes)
+		for _, elem := range ElemSizes {
+			sys := p.newSystem(0)
+			var bw float64
+			sys.SPEs[0].Run("ls", func(ctx *spe.Context) {
+				cycles := ctx.StreamLS(op, elem, volume)
+				bytes := int64(volume)
+				if op == spe.LSCopy {
+					bytes *= 2
+				}
+				bw = sys.GBps(bytes, cycles)
+			})
+			sys.Run()
+			series.Add(elem, bw)
+		}
+		res.Curves = append(res.Curves, curveFromSeries(series))
+	}
+	return res, nil
+}

@@ -1,0 +1,359 @@
+// Package eib models the Cell Broadband Engine's Element Interconnect Bus.
+//
+// The EIB connects 12 "ramps" (bus units): the PPE, the eight SPEs, the
+// memory interface controller (MIC) and two I/O interfaces (IOIF0/IOIF1).
+// Data moves on four unidirectional rings, two per direction, each 16 bytes
+// wide per bus cycle; the bus runs at half the CPU clock. A transfer may
+// travel at most half way around the ring (6 hops), so for any src/dst pair
+// only the shorter direction (or either, at exactly 6 hops) is eligible.
+// Each ramp can source one 16-byte beat and sink one 16-byte beat per bus
+// cycle. A separate, snooped command bus carries one command per bus cycle.
+//
+// The model is a timetable scheduler: a data transfer reserves the ring
+// segments along its path, plus the source's output port and the
+// destination's input port, for the duration of the transfer. Conflicting
+// reservations push transfers later in time, which is exactly the
+// physical-layout contention the paper measures (its Figures 13 and 16).
+package eib
+
+import (
+	"fmt"
+
+	"cellbe/internal/sim"
+)
+
+// RampID identifies a physical position (bus unit) on the ring, 0..11.
+type RampID int
+
+// NumRamps is the number of bus units on the EIB.
+const NumRamps = 12
+
+// Physical ramp layout of the Cell BE die, going around the ring. This
+// follows the floorplan described by Krolak's EIB presentation: one row of
+// SPEs on each side of the die, with the PPE/MIC at one end and the I/O
+// interfaces at the other.
+const (
+	RampPPE RampID = iota
+	RampSPE1
+	RampSPE3
+	RampSPE5
+	RampSPE7
+	RampIOIF1
+	RampIOIF0
+	RampSPE6
+	RampSPE4
+	RampSPE2
+	RampSPE0
+	RampMIC
+)
+
+var rampNames = [NumRamps]string{
+	"PPE", "SPE1", "SPE3", "SPE5", "SPE7", "IOIF1",
+	"IOIF0", "SPE6", "SPE4", "SPE2", "SPE0", "MIC",
+}
+
+func (r RampID) String() string {
+	if r >= 0 && int(r) < NumRamps {
+		return rampNames[r]
+	}
+	return fmt.Sprintf("Ramp(%d)", int(r))
+}
+
+// PhysicalSPERamp returns the ramp of physical SPE i (0..7).
+func PhysicalSPERamp(i int) RampID {
+	ramps := [8]RampID{RampSPE0, RampSPE1, RampSPE2, RampSPE3, RampSPE4, RampSPE5, RampSPE6, RampSPE7}
+	return ramps[i]
+}
+
+// Direction of travel around the ring.
+type Direction int
+
+const (
+	// Clockwise travels from ramp i to ramp i+1 (mod 12).
+	Clockwise Direction = iota
+	// Counterclockwise travels from ramp i to ramp i-1 (mod 12).
+	Counterclockwise
+)
+
+func (d Direction) String() string {
+	if d == Clockwise {
+		return "cw"
+	}
+	return "ccw"
+}
+
+// Config holds the EIB timing parameters, all in CPU cycles.
+type Config struct {
+	// BusPeriod is the CPU cycles per bus cycle (2: the EIB runs at half
+	// the processor clock).
+	BusPeriod sim.Time
+	// BeatBytes is the ring width: bytes moved per bus cycle per ring (16).
+	BeatBytes int
+	// CmdLatency is the command-phase latency: the time from a command
+	// being issued to the data phase being eligible (address collision
+	// detection + snoop response). Pipelined, so it adds latency but not
+	// a throughput limit by itself.
+	CmdLatency sim.Time
+	// CmdIntervalTenths is the command bus throughput limit in tenths of
+	// a CPU cycle between command starts. The ideal machine snoops one
+	// command per bus cycle (20 tenths); reflection and retry overhead
+	// on the loaded bus makes the sustainable rate lower — 25 tenths
+	// (2.5 cycles) reproduces the paper's ~70% ceiling when four couples
+	// of SPEs demand the full 134.4 GB/s (every 128-byte packet needs a
+	// command slot).
+	CmdIntervalTenths int64
+	// RingsPerDirection is the number of data rings in each direction (2).
+	RingsPerDirection int
+	// TraceCapacity, when positive, keeps a ring buffer of the most
+	// recent data transfers for inspection (cellsim -dump-transfers).
+	TraceCapacity int
+	// RingDeadCycles is the switching gap a ring segment pays between
+	// reservations of *different* flows (src/dst pairs): a granted flow
+	// streams gaplessly, but interleaving flows re-arbitrate. Invisible
+	// while each flow has a ring of its own; once more flows than rings
+	// share a direction it cuts segment utilization — the EIB saturation
+	// the paper observes with 4+ concurrent transfers.
+	RingDeadCycles sim.Time
+}
+
+// DefaultConfig returns the Cell BE EIB parameters.
+func DefaultConfig() Config {
+	return Config{
+		BusPeriod:         2,
+		BeatBytes:         16,
+		CmdLatency:        50,
+		CmdIntervalTenths: 25,
+		RingsPerDirection: 2,
+		RingDeadCycles:    64,
+	}
+}
+
+type ring struct {
+	dir Direction
+	// seg[s] tracks reservations of segment s. For a clockwise ring,
+	// segment s carries data from ramp s to ramp s+1; for a
+	// counterclockwise ring, from ramp s to ramp s-1 (indexed by source).
+	seg [NumRamps]timeline
+}
+
+// Stats aggregates EIB activity counters for tests and reporting.
+type Stats struct {
+	Transfers    int64
+	Bytes        int64
+	Commands     int64
+	BusyCycles   [4]sim.Time // per-ring total reserved cycles
+	WaitCycles   sim.Time    // total cycles transfers waited beyond their earliest start
+	PerRampBytes [NumRamps]int64
+	PerDirCount  [2]int64
+}
+
+// TransferRecord is one traced data transfer.
+type TransferRecord struct {
+	Issued sim.Time // when the transfer was requested
+	Start  sim.Time // when the data began moving
+	End    sim.Time // when the last beat arrived
+	Src    RampID
+	Dst    RampID
+	Bytes  int
+	Ring   int // granted ring index; -1 for ramp-local transfers
+}
+
+// EIB is the interconnect model. It is not safe for concurrent use: all
+// calls must come from simulation events.
+type EIB struct {
+	eng   *sim.Engine
+	cfg   Config
+	rings []ring
+	out   [NumRamps]timeline // source ramp data-out port
+	in    [NumRamps]timeline // destination ramp data-in port
+	// cmdNextTenths is the command bus pacing cursor in tenths of a
+	// cycle (fixed point, so fractional intervals pace exactly).
+	cmdNextTenths int64
+	stats         Stats
+	trace         []TransferRecord
+	traceNext     int
+}
+
+// Trace returns the retained transfer records, oldest first. Empty unless
+// Config.TraceCapacity is set.
+func (e *EIB) Trace() []TransferRecord {
+	if len(e.trace) < cap(e.trace) {
+		return append([]TransferRecord(nil), e.trace...)
+	}
+	out := make([]TransferRecord, 0, len(e.trace))
+	out = append(out, e.trace[e.traceNext:]...)
+	out = append(out, e.trace[:e.traceNext]...)
+	return out
+}
+
+// record adds a transfer to the trace ring buffer.
+func (e *EIB) record(r TransferRecord) {
+	if e.cfg.TraceCapacity <= 0 {
+		return
+	}
+	if e.trace == nil {
+		e.trace = make([]TransferRecord, 0, e.cfg.TraceCapacity)
+	}
+	if len(e.trace) < cap(e.trace) {
+		e.trace = append(e.trace, r)
+		return
+	}
+	e.trace[e.traceNext] = r
+	e.traceNext = (e.traceNext + 1) % cap(e.trace)
+}
+
+// New returns an EIB bound to eng with the given configuration.
+func New(eng *sim.Engine, cfg Config) *EIB {
+	if cfg.BusPeriod <= 0 || cfg.BeatBytes <= 0 || cfg.RingsPerDirection <= 0 {
+		panic("eib: invalid config")
+	}
+	e := &EIB{eng: eng, cfg: cfg}
+	for i := 0; i < cfg.RingsPerDirection; i++ {
+		e.rings = append(e.rings, ring{dir: Clockwise})
+	}
+	for i := 0; i < cfg.RingsPerDirection; i++ {
+		e.rings = append(e.rings, ring{dir: Counterclockwise})
+	}
+	return e
+}
+
+// Config returns the configuration the EIB was built with.
+func (e *EIB) Config() Config { return e.cfg }
+
+// Stats returns a snapshot of the activity counters.
+func (e *EIB) Stats() Stats { return e.stats }
+
+// Hops returns the number of ring segments from src to dst in direction d.
+func Hops(src, dst RampID, d Direction) int {
+	if d == Clockwise {
+		return int((dst - src + NumRamps) % NumRamps)
+	}
+	return int((src - dst + NumRamps) % NumRamps)
+}
+
+// pathSegments returns the segment indices used travelling from src to dst
+// in direction d.
+func pathSegments(src, dst RampID, d Direction) []int {
+	hops := Hops(src, dst, d)
+	segs := make([]int, 0, hops)
+	cur := int(src)
+	for i := 0; i < hops; i++ {
+		segs = append(segs, cur)
+		if d == Clockwise {
+			cur = (cur + 1) % NumRamps
+		} else {
+			cur = (cur - 1 + NumRamps) % NumRamps
+		}
+	}
+	return segs
+}
+
+// Command reserves a slot on the snooped command bus at or after earliest
+// and returns the time the command phase completes (data phase may then
+// begin).
+func (e *EIB) Command(earliest sim.Time) sim.Time {
+	tenths := int64(earliest) * 10
+	if e.cmdNextTenths > tenths {
+		tenths = e.cmdNextTenths
+	}
+	e.cmdNextTenths = tenths + e.cfg.CmdIntervalTenths
+	e.stats.Commands++
+	grant := sim.Time((tenths + 9) / 10)
+	return grant + e.cfg.CmdLatency
+}
+
+// Transfer schedules a data-ring transfer of the given size from src to
+// dst, starting no earlier than earliest. done is invoked at the simulated
+// time the last beat arrives at dst. Transfers between a ramp and itself
+// (LS-to-LS within one SPE, handled locally) complete after the pure beat
+// time without touching the rings.
+func (e *EIB) Transfer(src, dst RampID, bytes int, earliest sim.Time, done func(end sim.Time)) {
+	if bytes <= 0 {
+		panic("eib: transfer of zero bytes")
+	}
+	if src < 0 || src >= NumRamps || dst < 0 || dst >= NumRamps {
+		panic(fmt.Sprintf("eib: bad ramp %d -> %d", src, dst))
+	}
+	beats := (bytes + e.cfg.BeatBytes - 1) / e.cfg.BeatBytes
+	dur := sim.Time(beats) * e.cfg.BusPeriod
+	if earliest < e.eng.Now() {
+		earliest = e.eng.Now()
+	}
+
+	if src == dst {
+		end := earliest + dur
+		e.stats.Transfers++
+		e.stats.Bytes += int64(bytes)
+		e.record(TransferRecord{Issued: e.eng.Now(), Start: earliest, End: end, Src: src, Dst: dst, Bytes: bytes, Ring: -1})
+		e.eng.At(end, func() { done(end) })
+		return
+	}
+
+	// Prune stale intervals: nothing before now can matter again.
+	now := e.eng.Now()
+	e.out[src].prune(now)
+	e.in[dst].prune(now)
+	flow := int32(src)<<8 | int32(dst)
+
+	// Candidate rings: those whose direction reaches dst in <= 6 hops.
+	// For each, find the earliest instant at which the source port, the
+	// destination port and every path segment are simultaneously free
+	// for the whole duration (iterated first-fit across the resources).
+	bestRing := -1
+	var bestStart sim.Time
+	var bestSegs []int
+	for ri := range e.rings {
+		r := &e.rings[ri]
+		hops := Hops(src, dst, r.dir)
+		if hops > NumRamps/2 {
+			continue
+		}
+		segs := pathSegments(src, dst, r.dir)
+		for _, s := range segs {
+			r.seg[s].prune(now)
+		}
+		start := earliest
+		for {
+			next := e.out[src].earliestFit(start, dur, flow, 0)
+			if f := e.in[dst].earliestFit(next, dur, flow, 0); f > next {
+				next = f
+			}
+			for _, s := range segs {
+				if f := r.seg[s].earliestFit(next, dur, flow, e.cfg.RingDeadCycles); f > next {
+					next = f
+				}
+			}
+			if next == start {
+				break
+			}
+			start = next
+		}
+		if bestRing == -1 || start < bestStart {
+			bestRing, bestStart, bestSegs = ri, start, segs
+		}
+	}
+	if bestRing == -1 {
+		panic(fmt.Sprintf("eib: no eligible ring %v -> %v", src, dst))
+	}
+
+	r := &e.rings[bestRing]
+	for _, s := range bestSegs {
+		r.seg[s].reserve(bestStart, dur, flow)
+	}
+	e.out[src].reserve(bestStart, dur, flow)
+	e.in[dst].reserve(bestStart, dur, flow)
+
+	// The last beat arrives after the pipeline drains through the hops.
+	hops := Hops(src, dst, r.dir)
+	end := bestStart + dur + sim.Time(hops)*e.cfg.BusPeriod
+
+	e.stats.Transfers++
+	e.stats.Bytes += int64(bytes)
+	e.stats.BusyCycles[bestRing] += dur
+	e.stats.WaitCycles += bestStart - earliest
+	e.stats.PerRampBytes[src] += int64(bytes)
+	e.stats.PerDirCount[r.dir]++
+	e.record(TransferRecord{Issued: e.eng.Now(), Start: bestStart, End: end, Src: src, Dst: dst, Bytes: bytes, Ring: bestRing})
+
+	e.eng.At(end, func() { done(end) })
+}

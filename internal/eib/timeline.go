@@ -1,0 +1,112 @@
+package eib
+
+import "cellbe/internal/sim"
+
+// timeline tracks reservations of one physical resource (a ring segment or
+// a ramp port) as a sorted list of disjoint busy intervals, supporting
+// first-fit gap search. Unlike a single busy-until watermark, this lets a
+// transfer slot into a gap *before* a reservation someone already booked
+// further in the future — without it, long-latency paths (remote memory)
+// would head-of-line-block short ones on shared ports.
+//
+// Intervals carry an owner (the flow, i.e. the src/dst pair). Ring
+// segments charge a switching gap when consecutive reservations belong to
+// different flows: a granted transfer streams gaplessly, but interleaving
+// flows pay re-arbitration. This is what makes one flow per ring run at
+// full rate while oversubscribed rings (the paper's saturated-EIB
+// experiments) lose efficiency.
+type timeline struct {
+	iv []interval // sorted by start, disjoint
+}
+
+type interval struct {
+	s, e  sim.Time // [s, e)
+	owner int32
+}
+
+// prune discards intervals that ended at or before now; they can never
+// affect a future reservation because earliest >= now always holds.
+// The most recent pruned interval is kept so switching gaps against the
+// immediately preceding transfer remain visible.
+func (t *timeline) prune(now sim.Time) {
+	i := 0
+	for i < len(t.iv) && t.iv[i].e <= now {
+		i++
+	}
+	if i > 1 {
+		t.iv = t.iv[i-1:]
+	}
+}
+
+// earliestFit returns the earliest start >= earliest at which a duration
+// dur fits, paying a switching gap of gap cycles against any neighbouring
+// interval of a different owner.
+func (t *timeline) earliestFit(earliest, dur sim.Time, owner int32, gap sim.Time) sim.Time {
+	start := earliest
+	n := len(t.iv)
+	for i := 0; i <= n; i++ {
+		// Minimum start after predecessor i-1 (plus switching gap when
+		// the predecessor belongs to a different flow).
+		if i > 0 {
+			min := t.iv[i-1].e
+			if t.iv[i-1].owner != owner {
+				min += gap
+			}
+			if start < min {
+				start = min
+			}
+		}
+		if i == n {
+			return start // open-ended tail
+		}
+		// Latest end that fits before successor i (minus switching gap
+		// when the successor belongs to a different flow).
+		limit := t.iv[i].s
+		if t.iv[i].owner != owner {
+			limit -= gap
+		}
+		if start+dur <= limit {
+			return start
+		}
+	}
+	return start
+}
+
+// reserve inserts [s, s+dur) with the given owner. The caller must have
+// obtained s via earliestFit against the current state; overlapping
+// reservations panic.
+func (t *timeline) reserve(s, dur sim.Time, owner int32) {
+	e := s + dur
+	// Find insertion point (first interval starting at or after s).
+	lo, hi := 0, len(t.iv)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.iv[mid].s < s {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo > 0 && t.iv[lo-1].e > s {
+		panic("eib: overlapping reservation")
+	}
+	if lo < len(t.iv) && t.iv[lo].s < e {
+		panic("eib: overlapping reservation")
+	}
+	// Merge with neighbours when contiguous and same-owner.
+	mergePrev := lo > 0 && t.iv[lo-1].e == s && t.iv[lo-1].owner == owner
+	mergeNext := lo < len(t.iv) && t.iv[lo].s == e && t.iv[lo].owner == owner
+	switch {
+	case mergePrev && mergeNext:
+		t.iv[lo-1].e = t.iv[lo].e
+		t.iv = append(t.iv[:lo], t.iv[lo+1:]...)
+	case mergePrev:
+		t.iv[lo-1].e = e
+	case mergeNext:
+		t.iv[lo].s = s
+	default:
+		t.iv = append(t.iv, interval{})
+		copy(t.iv[lo+1:], t.iv[lo:])
+		t.iv[lo] = interval{s: s, e: e, owner: owner}
+	}
+}

@@ -1,0 +1,159 @@
+package eib
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cellbe/internal/sim"
+)
+
+func TestTimelineFirstFitInGap(t *testing.T) {
+	var tl timeline
+	tl.reserve(0, 10, 1)
+	tl.reserve(30, 10, 1)
+	// A 10-cycle same-owner request fits in the [10,30) gap.
+	if got := tl.earliestFit(0, 10, 1, 0); got != 10 {
+		t.Fatalf("fit at %d, want 10", got)
+	}
+	// A 25-cycle request does not fit in the gap: goes after the tail.
+	if got := tl.earliestFit(0, 25, 1, 0); got != 40 {
+		t.Fatalf("fit at %d, want 40", got)
+	}
+}
+
+func TestTimelineSwitchingGap(t *testing.T) {
+	var tl timeline
+	tl.reserve(0, 10, 1)
+	// Different owner pays the gap after owner 1's interval...
+	if got := tl.earliestFit(0, 10, 2, 8); got != 18 {
+		t.Fatalf("other-owner fit at %d, want 18", got)
+	}
+	// ...while the same owner continues gaplessly.
+	if got := tl.earliestFit(0, 10, 1, 8); got != 10 {
+		t.Fatalf("same-owner fit at %d, want 10", got)
+	}
+	// Fitting *before* a foreign interval needs gap clearance too.
+	tl2 := timeline{}
+	tl2.reserve(100, 10, 1)
+	if got := tl2.earliestFit(0, 95, 2, 8); got != 118 {
+		t.Fatalf("pre-gap fit at %d, want 118 (cannot end within 8 of 100)", got)
+	}
+	if got := tl2.earliestFit(0, 92, 2, 8); got != 0 {
+		t.Fatalf("short request fit at %d, want 0 (ends at 92, gap respected)", got)
+	}
+}
+
+func TestTimelineMergeSameOwner(t *testing.T) {
+	var tl timeline
+	tl.reserve(0, 10, 1)
+	tl.reserve(10, 10, 1)
+	if len(tl.iv) != 1 || tl.iv[0].e != 20 {
+		t.Fatalf("adjacent same-owner intervals should merge: %+v", tl.iv)
+	}
+	tl.reserve(20, 10, 2) // different owner: no merge
+	if len(tl.iv) != 2 {
+		t.Fatalf("different owners must not merge: %+v", tl.iv)
+	}
+}
+
+func TestTimelineOverlapPanics(t *testing.T) {
+	var tl timeline
+	tl.reserve(0, 10, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overlapping reservation should panic")
+		}
+	}()
+	tl.reserve(5, 10, 2)
+}
+
+func TestTimelinePruneKeepsLast(t *testing.T) {
+	var tl timeline
+	tl.reserve(0, 10, 1)
+	tl.reserve(20, 10, 2)
+	tl.reserve(40, 10, 3)
+	tl.prune(100)
+	// The most recent interval stays so switching gaps remain visible.
+	if len(tl.iv) != 1 || tl.iv[0].owner != 3 {
+		t.Fatalf("prune should keep the last interval: %+v", tl.iv)
+	}
+}
+
+// Property: reservations produced by earliestFit never overlap, for any
+// sequence of owners/durations with any switching gap.
+func TestTimelineNoOverlapProperty(t *testing.T) {
+	f := func(ops []uint16, gap uint8) bool {
+		defer func() {
+			if recover() != nil {
+				t.Fatal("reservation overlap")
+			}
+		}()
+		var tl timeline
+		for _, op := range ops {
+			owner := int32(op % 3)
+			dur := sim.Time(op%50) + 1
+			earliest := sim.Time(op % 97)
+			s := tl.earliestFit(earliest, dur, owner, sim.Time(gap%20))
+			if s < earliest {
+				return false
+			}
+			tl.reserve(s, dur, owner)
+		}
+		// Verify sortedness and disjointness.
+		for i := 1; i < len(tl.iv); i++ {
+			if tl.iv[i-1].e > tl.iv[i].s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a same-owner fit is never later than a different-owner fit
+// for the same request.
+func TestTimelineOwnerAdvantageProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		var tl timeline
+		for _, op := range ops {
+			dur := sim.Time(op%40) + 1
+			s := tl.earliestFit(0, dur, int32(op%2), 10)
+			tl.reserve(s, dur, int32(op%2))
+		}
+		same := tl.earliestFit(0, 16, 0, 10)
+		// owner 2 never appeared: it pays gaps everywhere.
+		other := tl.earliestFit(0, 16, 2, 10)
+		return same <= other
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzTimeline drives random reservation sequences through the first-fit
+// search and asserts the no-overlap invariant (reserve panics on overlap,
+// so survival plus a sorted-disjoint check is the property).
+func FuzzTimeline(f *testing.F) {
+	f.Add([]byte{1, 10, 0, 2, 20, 5, 1, 10, 0})
+	f.Add([]byte{0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var tl timeline
+		for i := 0; i+2 < len(data); i += 3 {
+			owner := int32(data[i] % 4)
+			dur := sim.Time(data[i+1]%60) + 1
+			earliest := sim.Time(data[i+2])
+			s := tl.earliestFit(earliest, dur, owner, 8)
+			if s < earliest {
+				t.Fatalf("fit %d before earliest %d", s, earliest)
+			}
+			tl.reserve(s, dur, owner)
+		}
+		for i := 1; i < len(tl.iv); i++ {
+			if tl.iv[i-1].e > tl.iv[i].s {
+				t.Fatal("intervals overlap")
+			}
+		}
+	})
+}

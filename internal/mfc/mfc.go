@@ -1,0 +1,529 @@
+// Package mfc models the Memory Flow Controller of an SPE: the DMA engine
+// through which all SPE communication happens.
+//
+// The model covers the parts of the MFC the paper's microbenchmarks
+// exercise:
+//
+//   - a 16-entry SPU command queue (plus the 8-entry proxy queue used by
+//     PPE-initiated DMA),
+//   - GET/PUT element commands up to 16 KB, split into 128-byte bus
+//     packets at effective-address line boundaries,
+//   - GETL/PUTL list commands (up to 2048 elements per list) processed
+//     element by element with a small per-element overhead,
+//   - fence and barrier ordering variants,
+//   - 32 tag groups with completion waiting,
+//   - a bounded window of outstanding bus packets, which is what limits a
+//     single SPE's memory bandwidth to ~10 GB/s in the paper (window ×
+//     line size / round-trip latency).
+//
+// The MFC does not touch the EIB directly; it issues line-granularity
+// reads/writes against a Fabric, which the cell package routes to main
+// memory or to another SPE's local store.
+package mfc
+
+import (
+	"errors"
+	"fmt"
+
+	"cellbe/internal/sim"
+)
+
+// MaxTransfer is the architectural maximum size of one DMA element (16 KB).
+const MaxTransfer = 16 * 1024
+
+// MaxListElements is the architectural maximum list length.
+const MaxListElements = 2048
+
+// NumTags is the number of tag groups.
+const NumTags = 32
+
+// LineBytes is the bus packet granularity.
+const LineBytes = 128
+
+// Fabric is the MFC's view of the rest of the machine: line-granularity
+// reads and writes by effective address. Calls must not cross a 128-byte
+// EA boundary. done fires at the simulated completion time; the dst/src
+// slices are filled/read at that moment.
+type Fabric interface {
+	ReadEA(ea int64, n int, earliest sim.Time, dst []byte, done func(end sim.Time))
+	WriteEA(ea int64, n int, earliest sim.Time, src []byte, done func(end sim.Time))
+}
+
+// Kind is the DMA command type.
+type Kind int
+
+const (
+	// Get transfers from effective address space into the local store.
+	Get Kind = iota
+	// Put transfers from the local store to effective address space.
+	Put
+	// GetList is a list-directed Get: one command, many EA/size pairs.
+	GetList
+	// PutList is a list-directed Put.
+	PutList
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Get:
+		return "get"
+	case Put:
+		return "put"
+	case GetList:
+		return "getl"
+	case PutList:
+		return "putl"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// IsList reports whether the kind is list-directed.
+func (k Kind) IsList() bool { return k == GetList || k == PutList }
+
+// IsGet reports whether data flows into the local store.
+func (k Kind) IsGet() bool { return k == Get || k == GetList }
+
+// ListElem is one entry of a DMA list: a transfer of Size bytes at EA. The
+// local store address advances implicitly through the list.
+type ListElem struct {
+	EA   int64
+	Size int
+}
+
+// Cmd is a DMA command as written to the MFC command queue.
+type Cmd struct {
+	Kind   Kind
+	Tag    int   // tag group 0..31
+	LSAddr int   // local store byte offset
+	EA     int64 // effective address (element commands)
+	Size   int   // bytes (element commands)
+	List   []ListElem
+	// Fence delays this command until previously enqueued commands of the
+	// same tag group complete; Barrier until all previous commands do.
+	Fence   bool
+	Barrier bool
+}
+
+// Errors returned by Enqueue.
+var (
+	ErrQueueFull  = errors.New("mfc: command queue full")
+	ErrBadCommand = errors.New("mfc: invalid command")
+)
+
+// Config holds MFC timing and capacity parameters (cycles are CPU cycles).
+type Config struct {
+	// QueueDepth is the SPU command queue depth (16).
+	QueueDepth int
+	// ProxyDepth is the PPE-side proxy command queue depth (8).
+	ProxyDepth int
+	// Window is the maximum outstanding bus packets across element
+	// commands. This bound, times 128 bytes, divided by the memory
+	// round-trip time, is a single SPE's memory bandwidth ceiling.
+	Window int
+	// ListWindow is the outstanding-packet bound for a list command's
+	// packets (the list unrolls sequentially with less lookahead).
+	ListWindow int
+	// SetupCycles is the front-end cost of starting each queued command.
+	SetupCycles sim.Time
+	// ListElemCycles is the cost of unrolling each list element (the MFC
+	// fetches list entries from the local store, 8 bytes each).
+	ListElemCycles sim.Time
+	// IssueInterval paces bus packet issue: one packet per bus cycle.
+	IssueInterval sim.Time
+}
+
+// DefaultConfig returns the Cell BE MFC parameters.
+func DefaultConfig() Config {
+	return Config{
+		QueueDepth:     16,
+		ProxyDepth:     8,
+		Window:         16,
+		ListWindow:     6,
+		SetupCycles:    30,
+		ListElemCycles: 4,
+		IssueInterval:  2,
+	}
+}
+
+// Stats aggregates MFC activity.
+type Stats struct {
+	Commands     int64
+	Packets      int64
+	Bytes        int64
+	ListElements int64
+	Atomics      int64
+}
+
+type cmdState struct {
+	cmd     Cmd
+	seq     int64
+	proxy   bool
+	started bool
+	// element progress
+	offset int // bytes issued (element commands)
+	// list progress
+	listIdx int // current list element
+	listOff int // bytes issued within the current element
+	lsOff   int // running local store offset (list commands)
+	// completion accounting
+	inflight    int
+	issuedAll   bool
+	totalIssued int64
+	readyAt     sim.Time // fence/barrier release time (set when satisfied)
+	done        func()
+}
+
+// MFC is one SPE's memory flow controller.
+type MFC struct {
+	eng    *sim.Engine
+	fabric Fabric
+	ls     []byte
+	cfg    Config
+
+	seq         int64
+	spuQueue    int // occupied SPU queue slots
+	proxyQueue  int
+	active      []*cmdState // incomplete commands, enqueue order
+	outstanding int
+	nextIssue   sim.Time
+
+	tagCount   [NumTags]int
+	tagWaiters []*tagWaiter
+	spaceSubs  []func()
+
+	stats Stats
+}
+
+type tagWaiter struct {
+	mask  uint32
+	fired bool
+	fn    func()
+}
+
+// New returns an MFC moving data between ls (the SPE's local store) and
+// the fabric.
+func New(eng *sim.Engine, fabric Fabric, ls []byte, cfg Config) *MFC {
+	if cfg.QueueDepth <= 0 || cfg.Window <= 0 || cfg.ListWindow <= 0 {
+		panic("mfc: invalid config")
+	}
+	return &MFC{eng: eng, fabric: fabric, ls: ls, cfg: cfg}
+}
+
+// Stats returns a snapshot of the activity counters.
+func (m *MFC) Stats() Stats { return m.stats }
+
+// QueueFree returns the number of free SPU command-queue slots.
+func (m *MFC) QueueFree() int { return m.cfg.QueueDepth - m.spuQueue }
+
+// TagIncomplete returns the number of incomplete commands in tag group t.
+func (m *MFC) TagIncomplete(t int) int { return m.tagCount[t] }
+
+// validate checks a command against the MFC's architectural rules.
+func (m *MFC) validate(c *Cmd) error {
+	if c.Tag < 0 || c.Tag >= NumTags {
+		return fmt.Errorf("%w: tag %d", ErrBadCommand, c.Tag)
+	}
+	if c.Fence && c.Barrier {
+		return fmt.Errorf("%w: both fence and barrier", ErrBadCommand)
+	}
+	checkSpan := func(ls int, ea int64, size int) error {
+		if err := checkSize(size); err != nil {
+			return err
+		}
+		if size < 16 {
+			if ea%int64(size) != 0 || ls%size != 0 {
+				return fmt.Errorf("%w: %d-byte transfer must be naturally aligned (ea=%#x ls=%#x)", ErrBadCommand, size, ea, ls)
+			}
+		} else if ea%16 != 0 || ls%16 != 0 {
+			return fmt.Errorf("%w: transfer must be 16-byte aligned (ea=%#x ls=%#x)", ErrBadCommand, ea, ls)
+		}
+		if ls < 0 || ls+size > len(m.ls) {
+			return fmt.Errorf("%w: local store span %#x+%d out of range", ErrBadCommand, ls, size)
+		}
+		return nil
+	}
+	if c.Kind.IsList() {
+		if len(c.List) == 0 || len(c.List) > MaxListElements {
+			return fmt.Errorf("%w: list of %d elements", ErrBadCommand, len(c.List))
+		}
+		ls := c.LSAddr
+		for _, el := range c.List {
+			if err := checkSpan(ls, el.EA, el.Size); err != nil {
+				return err
+			}
+			ls += el.Size
+		}
+		return nil
+	}
+	return checkSpan(c.LSAddr, c.EA, c.Size)
+}
+
+func checkSize(size int) error {
+	if size <= 0 || size > MaxTransfer {
+		return fmt.Errorf("%w: size %d", ErrBadCommand, size)
+	}
+	if size < 16 {
+		switch size {
+		case 1, 2, 4, 8:
+			return nil
+		default:
+			return fmt.Errorf("%w: size %d (must be 1,2,4,8 or multiple of 16)", ErrBadCommand, size)
+		}
+	}
+	if size%16 != 0 {
+		return fmt.Errorf("%w: size %d not a multiple of 16", ErrBadCommand, size)
+	}
+	return nil
+}
+
+// Enqueue places a command on the SPU command queue. It returns
+// ErrQueueFull when all slots are busy (the caller — the SPU channel
+// interface — stalls and retries via OnSpace). done, if non-nil, fires
+// when the command completes.
+func (m *MFC) Enqueue(c Cmd, done func()) error {
+	return m.enqueue(c, done, false)
+}
+
+// EnqueueProxy places a command on the PPE-side proxy queue.
+func (m *MFC) EnqueueProxy(c Cmd, done func()) error {
+	return m.enqueue(c, done, true)
+}
+
+func (m *MFC) enqueue(c Cmd, done func(), proxy bool) error {
+	if err := m.validate(&c); err != nil {
+		return err
+	}
+	if proxy {
+		if m.proxyQueue >= m.cfg.ProxyDepth {
+			return ErrQueueFull
+		}
+		m.proxyQueue++
+	} else {
+		if m.spuQueue >= m.cfg.QueueDepth {
+			return ErrQueueFull
+		}
+		m.spuQueue++
+	}
+	m.seq++
+	st := &cmdState{cmd: c, seq: m.seq, proxy: proxy, done: done, readyAt: -1}
+	m.active = append(m.active, st)
+	m.tagCount[c.Tag]++
+	m.stats.Commands++
+	m.pump()
+	return nil
+}
+
+// OnSpace registers fn to run once, the next time a queue slot frees.
+func (m *MFC) OnSpace(fn func()) { m.spaceSubs = append(m.spaceSubs, fn) }
+
+// WaitTags registers fn to run when every tag group in mask has no
+// incomplete commands. If already true, fn is scheduled immediately.
+func (m *MFC) WaitTags(mask uint32, fn func()) {
+	w := &tagWaiter{mask: mask, fn: fn}
+	m.tagWaiters = append(m.tagWaiters, w)
+	m.checkTagWaiters()
+}
+
+// TagsComplete reports whether all tag groups in mask are idle.
+func (m *MFC) TagsComplete(mask uint32) bool {
+	for t := 0; t < NumTags; t++ {
+		if mask&(1<<uint(t)) != 0 && m.tagCount[t] > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *MFC) checkTagWaiters() {
+	kept := m.tagWaiters[:0]
+	for _, w := range m.tagWaiters {
+		if !w.fired && m.TagsComplete(w.mask) {
+			w.fired = true
+			m.eng.Schedule(0, w.fn)
+		} else if !w.fired {
+			kept = append(kept, w)
+		}
+	}
+	m.tagWaiters = kept
+}
+
+// orderingSatisfied reports whether st's fence/barrier allows issue.
+func (m *MFC) orderingSatisfied(st *cmdState) bool {
+	if !st.cmd.Fence && !st.cmd.Barrier {
+		return true
+	}
+	for _, other := range m.active {
+		if other.seq >= st.seq {
+			break
+		}
+		if st.cmd.Barrier || other.cmd.Tag == st.cmd.Tag {
+			return false
+		}
+	}
+	return true
+}
+
+// nextPacket computes the next bus packet of st without consuming it.
+// ok is false when all packets have been issued.
+func (st *cmdState) nextPacket() (lsOff int, ea int64, n int, newElem bool, ok bool) {
+	c := &st.cmd
+	if !c.Kind.IsList() {
+		if st.offset >= c.Size {
+			return 0, 0, 0, false, false
+		}
+		ea = c.EA + int64(st.offset)
+		n = lineRemain(ea, c.Size-st.offset)
+		return c.LSAddr + st.offset, ea, n, st.offset == 0, true
+	}
+	for st.listIdx < len(c.List) && c.List[st.listIdx].Size == 0 {
+		st.listIdx++
+	}
+	if st.listIdx >= len(c.List) {
+		return 0, 0, 0, false, false
+	}
+	el := c.List[st.listIdx]
+	ea = el.EA + int64(st.listOff)
+	n = lineRemain(ea, el.Size-st.listOff)
+	return st.lsOff + c.LSAddr + st.listOff, ea, n, st.listOff == 0, true
+}
+
+// lineRemain returns the largest span at ea, up to remain bytes, that does
+// not cross a 128-byte line boundary.
+func lineRemain(ea int64, remain int) int {
+	room := int(LineBytes - ea%LineBytes)
+	if remain < room {
+		return remain
+	}
+	return room
+}
+
+// advance consumes n bytes of st's current packet position.
+func (st *cmdState) advance(n int) {
+	c := &st.cmd
+	if !c.Kind.IsList() {
+		st.offset += n
+		if st.offset >= c.Size {
+			st.issuedAll = true
+		}
+		return
+	}
+	st.listOff += n
+	if st.listOff >= c.List[st.listIdx].Size {
+		st.lsOff += c.List[st.listIdx].Size
+		st.listOff = 0
+		st.listIdx++
+		for st.listIdx < len(c.List) && c.List[st.listIdx].Size == 0 {
+			st.listIdx++
+		}
+		if st.listIdx >= len(c.List) {
+			st.issuedAll = true
+		}
+	}
+}
+
+// pump issues as many bus packets as the window and command ordering
+// allow. It is called on every state change.
+func (m *MFC) pump() {
+	for m.outstanding < m.cfg.Window {
+		st := m.pickCommand()
+		if st == nil {
+			return
+		}
+		lsOff, ea, n, newElem, ok := st.nextPacket()
+		if !ok {
+			return // defensive; pickCommand filters these
+		}
+
+		t := m.eng.Now()
+		if m.nextIssue > t {
+			t = m.nextIssue
+		}
+		if !st.started {
+			st.started = true
+			t += m.cfg.SetupCycles
+		}
+		if st.cmd.Kind.IsList() && newElem {
+			t += m.cfg.ListElemCycles
+			m.stats.ListElements++
+		}
+		m.nextIssue = t + m.cfg.IssueInterval
+
+		st.advance(n)
+		st.inflight++
+		st.totalIssued++
+		m.outstanding++
+		m.stats.Packets++
+		m.stats.Bytes += int64(n)
+
+		doneFn := m.packetDone(st)
+		if st.cmd.Kind.IsGet() {
+			m.fabric.ReadEA(ea, n, t, m.ls[lsOff:lsOff+n], doneFn)
+		} else {
+			m.fabric.WriteEA(ea, n, t, m.ls[lsOff:lsOff+n], doneFn)
+		}
+	}
+}
+
+// pickCommand returns the eligible command to issue the next packet from.
+// The DMA controller works on queued commands concurrently, so selection
+// interleaves: among commands with unissued packets whose ordering and
+// per-command window constraints are satisfied, pick the one with the
+// fewest packets in flight (ties broken by queue order).
+func (m *MFC) pickCommand() *cmdState {
+	var best *cmdState
+	for _, st := range m.active {
+		if st.issuedAll {
+			continue
+		}
+		if st.cmd.Kind.IsList() && st.inflight >= m.cfg.ListWindow {
+			continue
+		}
+		if !m.orderingSatisfied(st) {
+			// Only this command waits; later independent commands may
+			// bypass it (fences and barriers order the tagged command
+			// against earlier ones, not the whole queue).
+			continue
+		}
+		if best == nil || st.inflight < best.inflight {
+			best = st
+		}
+	}
+	return best
+}
+
+func (m *MFC) packetDone(st *cmdState) func(end sim.Time) {
+	return func(end sim.Time) {
+		st.inflight--
+		m.outstanding--
+		if st.issuedAll && st.inflight == 0 {
+			m.complete(st)
+		}
+		m.pump()
+	}
+}
+
+func (m *MFC) complete(st *cmdState) {
+	for i, s := range m.active {
+		if s == st {
+			m.active = append(m.active[:i], m.active[i+1:]...)
+			break
+		}
+	}
+	if st.proxy {
+		m.proxyQueue--
+	} else {
+		m.spuQueue--
+	}
+	m.tagCount[st.cmd.Tag]--
+	m.checkTagWaiters()
+	if st.done != nil {
+		m.eng.Schedule(0, st.done)
+	}
+	if len(m.spaceSubs) > 0 {
+		subs := m.spaceSubs
+		m.spaceSubs = nil
+		for _, fn := range subs {
+			m.eng.Schedule(0, fn)
+		}
+	}
+}

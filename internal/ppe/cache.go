@@ -1,0 +1,129 @@
+package ppe
+
+import "fmt"
+
+// cacheArray is a set-associative tag array with true-LRU replacement and
+// per-line dirty bits. It tracks presence and victims only; data contents
+// live in the simulated RAM.
+type cacheArray struct {
+	lineBytes int
+	sets      int
+	assoc     int
+	tags      []int64 // sets*assoc entries; -1 = invalid
+	dirty     []bool
+	stamp     []int64
+	tick      int64
+}
+
+func newCacheArray(totalBytes, lineBytes, assoc int) *cacheArray {
+	if totalBytes <= 0 || lineBytes <= 0 || assoc <= 0 || totalBytes%(lineBytes*assoc) != 0 {
+		panic(fmt.Sprintf("ppe: bad cache geometry %d/%d/%d", totalBytes, lineBytes, assoc))
+	}
+	sets := totalBytes / (lineBytes * assoc)
+	c := &cacheArray{
+		lineBytes: lineBytes,
+		sets:      sets,
+		assoc:     assoc,
+		tags:      make([]int64, sets*assoc),
+		dirty:     make([]bool, sets*assoc),
+		stamp:     make([]int64, sets*assoc),
+	}
+	for i := range c.tags {
+		c.tags[i] = -1
+	}
+	return c
+}
+
+func (c *cacheArray) line(addr int64) int64 { return addr / int64(c.lineBytes) }
+
+func (c *cacheArray) set(line int64) int { return int(line % int64(c.sets)) }
+
+// Lookup reports whether addr's line is present, updating LRU on hit.
+func (c *cacheArray) Lookup(addr int64) bool {
+	line := c.line(addr)
+	base := c.set(line) * c.assoc
+	for w := 0; w < c.assoc; w++ {
+		if c.tags[base+w] == line {
+			c.tick++
+			c.stamp[base+w] = c.tick
+			return true
+		}
+	}
+	return false
+}
+
+// Contains reports presence without touching LRU state.
+func (c *cacheArray) Contains(addr int64) bool {
+	line := c.line(addr)
+	base := c.set(line) * c.assoc
+	for w := 0; w < c.assoc; w++ {
+		if c.tags[base+w] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// MarkDirty sets the dirty bit of a present line; it reports whether the
+// line was found.
+func (c *cacheArray) MarkDirty(addr int64) bool {
+	line := c.line(addr)
+	base := c.set(line) * c.assoc
+	for w := 0; w < c.assoc; w++ {
+		if c.tags[base+w] == line {
+			c.dirty[base+w] = true
+			return true
+		}
+	}
+	return false
+}
+
+// Insert places addr's line, evicting the LRU way if the set is full. It
+// returns the evicted line's base address and dirtiness when an eviction
+// of a valid line occurred. Inserting an already-present line only updates
+// its LRU position (and ORs the dirty bit).
+func (c *cacheArray) Insert(addr int64, dirty bool) (evicted int64, evictedDirty, hasEvict bool) {
+	line := c.line(addr)
+	base := c.set(line) * c.assoc
+	victim := base
+	for w := 0; w < c.assoc; w++ {
+		i := base + w
+		if c.tags[i] == line {
+			c.tick++
+			c.stamp[i] = c.tick
+			c.dirty[i] = c.dirty[i] || dirty
+			return 0, false, false
+		}
+		if c.tags[i] == -1 {
+			victim = i
+		} else if c.tags[victim] != -1 && c.stamp[i] < c.stamp[victim] {
+			victim = i
+		}
+	}
+	if c.tags[victim] != -1 {
+		evicted = c.tags[victim] * int64(c.lineBytes)
+		evictedDirty = c.dirty[victim]
+		hasEvict = true
+	}
+	c.tick++
+	c.tags[victim] = line
+	c.dirty[victim] = dirty
+	c.stamp[victim] = c.tick
+	return evicted, evictedDirty, hasEvict
+}
+
+// Flush invalidates everything, returning how many dirty lines were
+// dropped (callers model writebacks separately if needed).
+func (c *cacheArray) Flush() int {
+	n := 0
+	for i := range c.tags {
+		if c.tags[i] != -1 && c.dirty[i] {
+			n++
+		}
+		c.tags[i] = -1
+		c.dirty[i] = false
+		c.stamp[i] = 0
+	}
+	c.tick = 0
+	return n
+}

@@ -1,0 +1,99 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"cellbe/internal/core"
+	"cellbe/internal/stats"
+)
+
+func sampleResult() *core.Result {
+	return &core.Result{
+		Name:   "demo",
+		Title:  "Demo figure",
+		XLabel: "x",
+		YLabel: "GB/s",
+		Curves: []core.Curve{
+			{
+				Label: "a",
+				Points: []core.Point{
+					{X: 128, Summary: stats.Summarize([]float64{1, 3})},
+					{X: 256, Summary: stats.Summarize([]float64{4})},
+				},
+			},
+			{
+				Label: "b",
+				Points: []core.Point{
+					{X: 128, Summary: stats.Summarize([]float64{10})},
+				},
+			},
+		},
+	}
+}
+
+func TestTable(t *testing.T) {
+	var sb strings.Builder
+	if err := Table(&sb, sampleResult(), false); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"demo", "Demo figure", "128", "256", "2.00", "10.00", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableFull(t *testing.T) {
+	var sb strings.Builder
+	if err := Table(&sb, sampleResult(), true); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"a min", "a max", "a med", "a avg", "1.00", "3.00"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("full table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := CSV(&sb, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 4 { // header + 3 data rows
+		t.Fatalf("%d CSV lines, want 4:\n%s", len(lines), sb.String())
+	}
+	if !strings.HasPrefix(lines[0], "experiment,curve,x,min,max") {
+		t.Fatalf("bad CSV header %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "demo,a,128,1.0000,3.0000,2.0000,2.0000") {
+		t.Fatalf("bad CSV row %q", lines[1])
+	}
+}
+
+func TestChart(t *testing.T) {
+	var sb strings.Builder
+	if err := Chart(&sb, sampleResult(), 20); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "#") {
+		t.Fatalf("chart has no bars:\n%s", out)
+	}
+	// Curve b's 10.0 is the maximum: its bar must be full width.
+	if !strings.Contains(out, strings.Repeat("#", 20)) {
+		t.Fatalf("max bar not full width:\n%s", out)
+	}
+}
+
+func TestChartZeroResult(t *testing.T) {
+	var sb strings.Builder
+	empty := &core.Result{Name: "empty", Title: "empty"}
+	if err := Chart(&sb, empty, 10); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,121 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// Time is counted in CPU cycles of the simulated machine. All model
+// components schedule callbacks on a shared Engine; events at the same
+// timestamp fire in scheduling order, so a given model configuration always
+// produces the same result.
+//
+// Besides plain events, the package offers coroutine Processes (used to
+// write SPU and PPU "programs" as straight-line Go code that blocks on
+// simulated time) and a few small building blocks (FIFO resources,
+// completion signals) shared by the hardware models.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in simulated time, in CPU cycles.
+type Time int64
+
+// Forever is a time later than any event a simulation will ever schedule.
+const Forever Time = 1<<62 - 1
+
+type event struct {
+	at  Time
+	seq int64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; call
+// NewEngine.
+type Engine struct {
+	now    Time
+	seq    int64
+	events eventHeap
+	nfired int64
+}
+
+// NewEngine returns an engine with time set to zero and no pending events.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far (useful for tracing
+// and for asserting that a model stays within an event budget).
+func (e *Engine) Fired() int64 { return e.nfired }
+
+// Pending returns the number of scheduled events not yet fired.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule arranges for fn to run after d cycles. A negative delay panics:
+// models must not schedule into the past.
+func (e *Engine) Schedule(d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: schedule %d cycles into the past", -d))
+	}
+	e.At(e.now+d, fn)
+}
+
+// At arranges for fn to run at absolute time t (>= Now).
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// Step fires the next event, advancing time to it. It reports whether an
+// event was fired (false when the queue is empty).
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	e.nfired++
+	ev.fn()
+	return true
+}
+
+// Run fires events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil fires events with timestamp <= t, then advances time to t. It
+// reports whether any events remain after t.
+func (e *Engine) RunUntil(t Time) bool {
+	for len(e.events) > 0 && e.events[0].at <= t {
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+	return len(e.events) > 0
+}

@@ -1,0 +1,392 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(10, func() { got = append(got, 2) })
+	e.Schedule(5, func() { got = append(got, 1) })
+	e.Schedule(10, func() { got = append(got, 3) }) // same time: scheduling order
+	e.Schedule(20, func() { got = append(got, 4) })
+	e.Run()
+	want := []int{1, 2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 20 {
+		t.Fatalf("final time %d, want 20", e.Now())
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var ticks []Time
+	var tick func()
+	tick = func() {
+		ticks = append(ticks, e.Now())
+		if e.Now() < 50 {
+			e.Schedule(10, tick)
+		}
+	}
+	e.Schedule(0, tick)
+	e.Run()
+	if len(ticks) != 6 {
+		t.Fatalf("got %d ticks, want 6: %v", len(ticks), ticks)
+	}
+	for i, at := range ticks {
+		if at != Time(i*10) {
+			t.Fatalf("tick %d at %d, want %d", i, at, i*10)
+		}
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.Schedule(10, func() { fired++ })
+	e.Schedule(30, func() { fired++ })
+	more := e.RunUntil(20)
+	if !more {
+		t.Fatal("RunUntil(20) should report remaining events")
+	}
+	if fired != 1 {
+		t.Fatalf("fired %d, want 1", fired)
+	}
+	if e.Now() != 20 {
+		t.Fatalf("now %d, want 20", e.Now())
+	}
+	if e.RunUntil(100) {
+		t.Fatal("no events should remain")
+	}
+	if fired != 2 {
+		t.Fatalf("fired %d, want 2", fired)
+	}
+}
+
+func TestEngineSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling into the past should panic")
+		}
+	}()
+	e.Schedule(-1, func() {})
+}
+
+func TestEngineStepEmpty(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Fatal("Step on empty queue should report false")
+	}
+	if e.Pending() != 0 {
+		t.Fatal("empty queue should have no pending events")
+	}
+}
+
+// Property: no matter the set of delays, events fire in nondecreasing time
+// order and the engine ends at the max timestamp.
+func TestEngineMonotonicProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		var max Time
+		prev := Time(-1)
+		ok := true
+		for _, d := range delays {
+			at := Time(d)
+			if at > max {
+				max = at
+			}
+			e.At(at, func() {
+				if e.Now() < prev {
+					ok = false
+				}
+				prev = e.Now()
+			})
+		}
+		e.Run()
+		if len(delays) == 0 {
+			return true
+		}
+		return ok && e.Now() == max && e.Fired() == int64(len(delays))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcessWait(t *testing.T) {
+	e := NewEngine()
+	var trace []Time
+	Spawn(e, "a", func(p *Process) {
+		trace = append(trace, p.Now())
+		p.Wait(5)
+		trace = append(trace, p.Now())
+		p.Wait(0)
+		trace = append(trace, p.Now())
+		p.Wait(7)
+		trace = append(trace, p.Now())
+	})
+	e.Run()
+	want := []Time{0, 5, 5, 12}
+	for i, w := range want {
+		if trace[i] != w {
+			t.Fatalf("trace %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestProcessInterleaving(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	Spawn(e, "a", func(p *Process) {
+		for i := 0; i < 3; i++ {
+			order = append(order, "a")
+			p.Wait(10)
+		}
+	})
+	Spawn(e, "b", func(p *Process) {
+		p.Wait(5)
+		for i := 0; i < 3; i++ {
+			order = append(order, "b")
+			p.Wait(10)
+		}
+	})
+	e.Run()
+	want := []string{"a", "b", "a", "b", "a", "b"}
+	if len(order) != len(want) {
+		t.Fatalf("order %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestProcessSignal(t *testing.T) {
+	e := NewEngine()
+	s := NewSignal(e)
+	var wokeAt Time = -1
+	Spawn(e, "waiter", func(p *Process) {
+		p.WaitSignal(s)
+		wokeAt = p.Now()
+	})
+	e.Schedule(42, s.Fire)
+	e.Run()
+	if wokeAt != 42 {
+		t.Fatalf("woke at %d, want 42", wokeAt)
+	}
+	// Waiting on an already-fired signal returns immediately.
+	var at Time = -1
+	Spawn(e, "late", func(p *Process) {
+		p.WaitSignal(s)
+		at = p.Now()
+	})
+	e.Run()
+	if at != 42 {
+		t.Fatalf("late waiter woke at %d, want 42", at)
+	}
+}
+
+func TestSignalDoubleFirePanics(t *testing.T) {
+	e := NewEngine()
+	s := NewSignal(e)
+	s.Fire()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Fire should panic")
+		}
+	}()
+	s.Fire()
+}
+
+func TestProcessWaitFunc(t *testing.T) {
+	e := NewEngine()
+	var wake func()
+	var wokeAt Time = -1
+	Spawn(e, "w", func(p *Process) {
+		p.WaitFunc(func(w func()) { wake = w })
+		wokeAt = p.Now()
+	})
+	e.Schedule(9, func() { wake() })
+	e.Run()
+	if wokeAt != 9 {
+		t.Fatalf("woke at %d, want 9", wokeAt)
+	}
+}
+
+func TestProcessPanicPropagates(t *testing.T) {
+	e := NewEngine()
+	Spawn(e, "boom", func(p *Process) {
+		p.Wait(1)
+		panic("kaboom")
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("process panic should propagate to the engine")
+		}
+	}()
+	e.Run()
+}
+
+func TestServerFIFO(t *testing.T) {
+	e := NewEngine()
+	s := NewServer(e)
+	var ends []Time
+	for i := 0; i < 3; i++ {
+		s.Request(10, func(start Time) { ends = append(ends, e.Now()) })
+	}
+	e.Run()
+	want := []Time{10, 20, 30}
+	for i, w := range want {
+		if ends[i] != w {
+			t.Fatalf("ends %v, want %v", ends, want)
+		}
+	}
+}
+
+func TestServerLateArrival(t *testing.T) {
+	e := NewEngine()
+	s := NewServer(e)
+	var ends []Time
+	s.Request(10, func(Time) { ends = append(ends, e.Now()) })
+	e.Schedule(25, func() {
+		s.Request(5, func(Time) { ends = append(ends, e.Now()) })
+	})
+	e.Run()
+	if ends[0] != 10 || ends[1] != 30 {
+		t.Fatalf("ends %v, want [10 30]", ends)
+	}
+}
+
+func TestServerReserve(t *testing.T) {
+	e := NewEngine()
+	s := NewServer(e)
+	if got := s.Reserve(5, 10); got != 5 {
+		t.Fatalf("first reserve start %d, want 5", got)
+	}
+	if got := s.Reserve(0, 10); got != 15 {
+		t.Fatalf("second reserve start %d, want 15", got)
+	}
+	if got := s.Reserve(100, 10); got != 100 {
+		t.Fatalf("third reserve start %d, want 100", got)
+	}
+}
+
+func TestTokenBucket(t *testing.T) {
+	e := NewEngine()
+	b := NewTokenBucket(e, 4)
+	if got := b.Take(0); got != 0 {
+		t.Fatalf("token 0 at %d, want 0", got)
+	}
+	if got := b.Take(0); got != 4 {
+		t.Fatalf("token 1 at %d, want 4", got)
+	}
+	if got := b.Take(100); got != 100 {
+		t.Fatalf("token after idle at %d, want 100", got)
+	}
+	if got := b.Take(0); got != 104 {
+		t.Fatalf("token at %d, want 104", got)
+	}
+}
+
+// Property: a server serving n requests of duration d is busy exactly n*d
+// cycles with no gaps when all requests arrive at time zero.
+func TestServerThroughputProperty(t *testing.T) {
+	f := func(n uint8, d uint8) bool {
+		if n == 0 || d == 0 {
+			return true
+		}
+		e := NewEngine()
+		s := NewServer(e)
+		var last Time
+		for i := 0; i < int(n); i++ {
+			s.Request(Time(d), func(Time) { last = e.Now() })
+		}
+		e.Run()
+		return last == Time(n)*Time(d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcessAccessors(t *testing.T) {
+	e := NewEngine()
+	var p *Process
+	p = Spawn(e, "worker", func(proc *Process) {
+		if proc.Name() != "worker" {
+			t.Error("Name accessor wrong")
+		}
+		if proc.Engine() != e {
+			t.Error("Engine accessor wrong")
+		}
+		proc.Wait(5)
+	})
+	if p.Done() {
+		t.Fatal("process must not be done before running")
+	}
+	e.Run()
+	if !p.Done() {
+		t.Fatal("process must be done after the engine drains")
+	}
+}
+
+func TestSignalOnFireAndFired(t *testing.T) {
+	e := NewEngine()
+	s := NewSignal(e)
+	if s.Fired() {
+		t.Fatal("new signal must not be fired")
+	}
+	calls := 0
+	s.OnFire(func() { calls++ })
+	e.Schedule(10, s.Fire)
+	e.Run()
+	if calls != 1 || !s.Fired() {
+		t.Fatalf("OnFire calls=%d fired=%v", calls, s.Fired())
+	}
+	// Late subscription on a fired signal still runs.
+	s.OnFire(func() { calls++ })
+	e.Run()
+	if calls != 2 {
+		t.Fatalf("late OnFire not delivered: calls=%d", calls)
+	}
+}
+
+func TestServerAccessors(t *testing.T) {
+	e := NewEngine()
+	s := NewServer(e)
+	s.Request(10, func(Time) {})
+	s.Request(10, func(Time) {})
+	if s.QueueLen() != 1 {
+		t.Fatalf("queue len %d, want 1 (one in service, one queued)", s.QueueLen())
+	}
+	if s.BusyUntil() != 10 {
+		t.Fatalf("busy until %d, want 10", s.BusyUntil())
+	}
+	e.Run()
+	if s.QueueLen() != 0 {
+		t.Fatal("queue must drain")
+	}
+}
+
+func TestAtBeforeNowPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At before now should panic")
+		}
+	}()
+	e.At(5, func() {})
+}

@@ -1,0 +1,151 @@
+package sim
+
+import "fmt"
+
+// Process is a coroutine driven by the simulation engine. It lets model
+// code (an SPU program, a PPU thread) be written as straight-line Go that
+// blocks on simulated time or on simulated events, while the engine runs
+// exactly one process at a time, keeping the simulation deterministic.
+//
+// Implementation: the process body runs on its own goroutine, but control
+// is handed back and forth over unbuffered channels so the engine and the
+// process never run concurrently.
+type Process struct {
+	eng    *Engine
+	name   string
+	resume chan struct{} // engine -> process
+	yield  chan struct{} // process -> engine
+	done   bool
+	err    interface{} // panic value from the body, if any
+}
+
+// Spawn starts fn as a process at the current simulated time. fn receives
+// the Process to block on. The process begins running at the next event
+// the engine fires for it (scheduled immediately).
+func Spawn(eng *Engine, name string, fn func(p *Process)) *Process {
+	p := &Process{
+		eng:    eng,
+		name:   name,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	go func() {
+		<-p.resume // wait for first activation
+		defer func() {
+			if r := recover(); r != nil {
+				p.err = r
+			}
+			p.done = true
+			p.yield <- struct{}{}
+		}()
+		fn(p)
+	}()
+	eng.Schedule(0, p.activate)
+	return p
+}
+
+// activate transfers control to the process until it blocks or finishes.
+// Must only be called from an engine event.
+func (p *Process) activate() {
+	if p.done {
+		return
+	}
+	p.resume <- struct{}{}
+	<-p.yield
+	if p.done && p.err != nil {
+		panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, p.err))
+	}
+}
+
+// park blocks the process until something calls activate again. Must only
+// be called from the process goroutine.
+func (p *Process) park() {
+	p.yield <- struct{}{}
+	<-p.resume
+}
+
+// Name returns the process name given at Spawn.
+func (p *Process) Name() string { return p.name }
+
+// Engine returns the engine driving this process.
+func (p *Process) Engine() *Engine { return p.eng }
+
+// Now returns the current simulated time.
+func (p *Process) Now() Time { return p.eng.Now() }
+
+// Done reports whether the process body has returned.
+func (p *Process) Done() bool { return p.done }
+
+// Wait blocks the process for d cycles of simulated time.
+func (p *Process) Wait(d Time) {
+	if d < 0 {
+		panic("sim: Wait with negative duration")
+	}
+	if d == 0 {
+		return
+	}
+	p.eng.Schedule(d, p.activate)
+	p.park()
+}
+
+// WaitSignal blocks the process until s fires. If s has already fired it
+// returns immediately without yielding.
+func (p *Process) WaitSignal(s *Signal) {
+	if s.fired {
+		return
+	}
+	s.subscribe(p.activate)
+	p.park()
+}
+
+// WaitFunc blocks the process until wake is invoked. It hands the caller a
+// wake function that is safe to call exactly once from any engine event.
+func (p *Process) WaitFunc(arm func(wake func())) {
+	woken := false
+	arm(func() {
+		if woken {
+			panic("sim: WaitFunc wake called twice")
+		}
+		woken = true
+		p.eng.Schedule(0, p.activate)
+	})
+	p.park()
+}
+
+// Signal is a one-shot broadcast: processes and callbacks wait on it, and
+// Fire releases all of them at the current simulated time.
+type Signal struct {
+	eng   *Engine
+	fired bool
+	subs  []func()
+}
+
+// NewSignal returns an unfired signal bound to eng.
+func NewSignal(eng *Engine) *Signal { return &Signal{eng: eng} }
+
+// Fired reports whether the signal has fired.
+func (s *Signal) Fired() bool { return s.fired }
+
+// Fire releases all waiters. Firing twice panics: signals are one-shot.
+func (s *Signal) Fire() {
+	if s.fired {
+		panic("sim: signal fired twice")
+	}
+	s.fired = true
+	for _, fn := range s.subs {
+		s.eng.Schedule(0, fn)
+	}
+	s.subs = nil
+}
+
+// OnFire registers fn to run when the signal fires (immediately scheduled
+// if it already fired).
+func (s *Signal) OnFire(fn func()) {
+	if s.fired {
+		s.eng.Schedule(0, fn)
+		return
+	}
+	s.subscribe(fn)
+}
+
+func (s *Signal) subscribe(fn func()) { s.subs = append(s.subs, fn) }

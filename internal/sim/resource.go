@@ -1,0 +1,94 @@
+package sim
+
+// Server models a resource that serves requests one at a time, each
+// occupying the resource for a caller-specified number of cycles. Requests
+// are granted in FIFO order. It is the building block for memory banks,
+// link ports and similar rate-limited hardware.
+type Server struct {
+	eng       *Engine
+	busyUntil Time
+	queue     []serverReq
+	inService bool
+}
+
+type serverReq struct {
+	dur  Time
+	done func(start Time)
+}
+
+// NewServer returns an idle server bound to eng.
+func NewServer(eng *Engine) *Server { return &Server{eng: eng} }
+
+// BusyUntil returns the time the server becomes free given current
+// reservations.
+func (s *Server) BusyUntil() Time { return s.busyUntil }
+
+// QueueLen returns the number of requests waiting (not yet started).
+func (s *Server) QueueLen() int { return len(s.queue) }
+
+// Request enqueues a request occupying the server for dur cycles. done is
+// called when the occupation *ends*, with the time service started.
+func (s *Server) Request(dur Time, done func(start Time)) {
+	s.queue = append(s.queue, serverReq{dur: dur, done: done})
+	if !s.inService {
+		s.startNext()
+	}
+}
+
+func (s *Server) startNext() {
+	if len(s.queue) == 0 {
+		s.inService = false
+		return
+	}
+	s.inService = true
+	req := s.queue[0]
+	s.queue = s.queue[1:]
+	start := s.eng.Now()
+	if start < s.busyUntil {
+		start = s.busyUntil
+	}
+	end := start + req.dur
+	s.busyUntil = end
+	s.eng.At(end, func() {
+		req.done(start)
+		s.startNext()
+	})
+}
+
+// Reserve occupies the server for dur cycles starting no earlier than
+// earliest, without queueing semantics: it finds the first gap at or after
+// max(earliest, busyUntil) and returns the start time. Used by timetable
+// schedulers (the EIB) where the caller plans ahead.
+func (s *Server) Reserve(earliest Time, dur Time) (start Time) {
+	start = earliest
+	if s.busyUntil > start {
+		start = s.busyUntil
+	}
+	s.busyUntil = start + dur
+	return start
+}
+
+// TokenBucket rate-limits discrete operations: at most one token every
+// interval cycles, with no burst beyond the single slot. Take returns the
+// time the token is granted (>= now).
+type TokenBucket struct {
+	eng      *Engine
+	interval Time
+	nextFree Time
+}
+
+// NewTokenBucket returns a bucket granting one token per interval cycles.
+func NewTokenBucket(eng *Engine, interval Time) *TokenBucket {
+	return &TokenBucket{eng: eng, interval: interval}
+}
+
+// Take reserves the next token at or after earliest and returns its grant
+// time.
+func (b *TokenBucket) Take(earliest Time) Time {
+	t := earliest
+	if b.nextFree > t {
+		t = b.nextFree
+	}
+	b.nextFree = t + b.interval
+	return t
+}

@@ -1,0 +1,106 @@
+// Package stats provides the small summary statistics the paper reports:
+// minimum, maximum, median, and average bandwidth across repeated runs
+// with different logical-to-physical SPE mappings.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds the aggregate of a sample set.
+type Summary struct {
+	N      int
+	Min    float64
+	Max    float64
+	Mean   float64
+	Median float64
+	Stddev float64
+}
+
+// Summarize computes a Summary of xs. It panics on an empty sample set:
+// callers always control the run count.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: empty sample set")
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+		sum += x
+	}
+	s.Mean = sum / float64(len(xs))
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	s.Stddev = math.Sqrt(ss / float64(len(xs)))
+	return s
+}
+
+// Spread returns Max - Min.
+func (s Summary) Spread() float64 { return s.Max - s.Min }
+
+// String renders the summary in GB/s with the paper's fields.
+func (s Summary) String() string {
+	return fmt.Sprintf("min=%.2f max=%.2f med=%.2f avg=%.2f (n=%d)", s.Min, s.Max, s.Median, s.Mean, s.N)
+}
+
+// Series is a labeled X->samples mapping: one curve of a figure, with one
+// sample per run at each X.
+type Series struct {
+	Label  string
+	Xs     []int
+	Values [][]float64 // Values[i] holds the samples at Xs[i]
+}
+
+// NewSeries returns an empty series over the given x points.
+func NewSeries(label string, xs []int) *Series {
+	return &Series{Label: label, Xs: xs, Values: make([][]float64, len(xs))}
+}
+
+// Add appends a sample at x. It panics if x is not a point of the series.
+func (s *Series) Add(x int, v float64) {
+	for i, xx := range s.Xs {
+		if xx == x {
+			s.Values[i] = append(s.Values[i], v)
+			return
+		}
+	}
+	panic(fmt.Sprintf("stats: x=%d not in series %q", x, s.Label))
+}
+
+// At summarizes the samples at x.
+func (s *Series) At(x int) Summary {
+	for i, xx := range s.Xs {
+		if xx == x {
+			return Summarize(s.Values[i])
+		}
+	}
+	panic(fmt.Sprintf("stats: x=%d not in series %q", x, s.Label))
+}
+
+// Summaries returns one Summary per X point.
+func (s *Series) Summaries() []Summary {
+	out := make([]Summary, len(s.Xs))
+	for i := range s.Xs {
+		out[i] = Summarize(s.Values[i])
+	}
+	return out
+}

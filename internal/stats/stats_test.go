@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasic(t *testing.T) {
+	s := Summarize([]float64{3, 1, 4, 1, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("bad summary %+v", s)
+	}
+	if math.Abs(s.Mean-2.8) > 1e-9 {
+		t.Fatalf("mean %v, want 2.8", s.Mean)
+	}
+	if s.Median != 3 {
+		t.Fatalf("median %v, want 3", s.Median)
+	}
+}
+
+func TestSummarizeEvenMedian(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.Median != 2.5 {
+		t.Fatalf("median %v, want 2.5", s.Median)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Min != 7 || s.Max != 7 || s.Mean != 7 || s.Median != 7 || s.Stddev != 0 {
+		t.Fatalf("bad single-sample summary %+v", s)
+	}
+}
+
+func TestSummarizeEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty sample set should panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestSpread(t *testing.T) {
+	if got := Summarize([]float64{2, 9, 4}).Spread(); got != 7 {
+		t.Fatalf("spread %v, want 7", got)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries("get", []int{128, 256})
+	s.Add(128, 1.0)
+	s.Add(128, 3.0)
+	s.Add(256, 5.0)
+	if got := s.At(128).Mean; got != 2.0 {
+		t.Fatalf("mean at 128 = %v, want 2", got)
+	}
+	if got := s.At(256).Max; got != 5.0 {
+		t.Fatalf("max at 256 = %v, want 5", got)
+	}
+	sums := s.Summaries()
+	if len(sums) != 2 || sums[1].N != 1 {
+		t.Fatalf("bad summaries %+v", sums)
+	}
+}
+
+func TestSeriesUnknownXPanics(t *testing.T) {
+	s := NewSeries("x", []int{1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown x should panic")
+		}
+	}()
+	s.Add(2, 1.0)
+}
+
+// Properties: min <= median <= max, min <= mean <= max, and summarizing a
+// constant sample gives zero stddev.
+func TestSummaryOrderingProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Median+1e-9 && s.Median <= s.Max+1e-9 &&
+			s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9 && s.Stddev >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

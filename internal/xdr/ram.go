@@ -1,0 +1,78 @@
+package xdr
+
+import "fmt"
+
+// RAM is sparse byte-addressable storage: pages are allocated on first
+// touch so a 512 MB address space costs only what the workload touches.
+// It carries the *contents* of memory; all timing lives in Memory.
+type RAM struct {
+	total    int64
+	pageSize int64
+	pages    map[int64][]byte
+}
+
+// NewRAM returns storage for total bytes, paged at pageSize.
+func NewRAM(total, pageSize int64) *RAM {
+	if total <= 0 || pageSize <= 0 || total%pageSize != 0 {
+		panic(fmt.Sprintf("xdr: bad RAM geometry total=%d page=%d", total, pageSize))
+	}
+	return &RAM{total: total, pageSize: pageSize, pages: make(map[int64][]byte)}
+}
+
+// Size returns the address-space size in bytes.
+func (r *RAM) Size() int64 { return r.total }
+
+// TouchedPages returns how many pages have been materialized.
+func (r *RAM) TouchedPages() int { return len(r.pages) }
+
+func (r *RAM) page(idx int64, create bool) []byte {
+	p, ok := r.pages[idx]
+	if !ok && create {
+		p = make([]byte, r.pageSize)
+		r.pages[idx] = p
+	}
+	return p
+}
+
+func (r *RAM) check(addr int64, n int) {
+	if addr < 0 || addr+int64(n) > r.total {
+		panic(fmt.Sprintf("xdr: RAM access %#x+%d out of range", addr, n))
+	}
+}
+
+// Read copies len(dst) bytes at addr into dst. Untouched memory reads as
+// zero.
+func (r *RAM) Read(addr int64, dst []byte) {
+	r.check(addr, len(dst))
+	for len(dst) > 0 {
+		idx, off := addr/r.pageSize, addr%r.pageSize
+		n := int(r.pageSize - off)
+		if n > len(dst) {
+			n = len(dst)
+		}
+		if p := r.page(idx, false); p != nil {
+			copy(dst[:n], p[off:])
+		} else {
+			for i := 0; i < n; i++ {
+				dst[i] = 0
+			}
+		}
+		dst = dst[n:]
+		addr += int64(n)
+	}
+}
+
+// Write copies src into memory at addr.
+func (r *RAM) Write(addr int64, src []byte) {
+	r.check(addr, len(src))
+	for len(src) > 0 {
+		idx, off := addr/r.pageSize, addr%r.pageSize
+		n := int(r.pageSize - off)
+		if n > len(src) {
+			n = len(src)
+		}
+		copy(r.page(idx, true)[off:], src[:n])
+		src = src[n:]
+		addr += int64(n)
+	}
+}
