@@ -8,6 +8,9 @@ package cellbe
 // the paper-vs-measured comparison produced from these.
 
 import (
+	"encoding/json"
+	"os"
+	"sync"
 	"testing"
 
 	"cellbe/internal/cell"
@@ -187,6 +190,118 @@ func BenchmarkStreaming(b *testing.B) {
 		reportCurve(b, r, "aggregate", 1, "oneStream-GB/s")
 		reportCurve(b, r, "aggregate", 2, "twoStreams-GB/s")
 		reportCurve(b, r, "aggregate", 4, "fourStreams-GB/s")
+	})
+}
+
+// --- Hot-path perf baselines (BENCH_eib.json) ---
+
+// benchJSONMu serializes updates to the shared BENCH_eib.json baseline.
+var benchJSONMu sync.Mutex
+
+// recordBenchBaseline merges the given metrics for one benchmark into
+// BENCH_eib.json, the checked-against perf baseline for the EIB hot path.
+// Regenerate it with: go test -bench 'EIBSaturated|Sweep' -benchmem .
+func recordBenchBaseline(b *testing.B, name string, metrics map[string]float64) {
+	b.Helper()
+	benchJSONMu.Lock()
+	defer benchJSONMu.Unlock()
+	const path = "BENCH_eib.json"
+	all := map[string]map[string]float64{}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &all); err != nil {
+			b.Logf("ignoring unparsable %s: %v", path, err)
+			all = map[string]map[string]float64{}
+		}
+	}
+	all[name] = metrics
+	data, err := json.MarshalIndent(all, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// saturatedScenario is the EIB saturation workload the tentpole
+// optimization targets: 8 SPEs in a cycle exchanging 4 KB elements, the
+// regime where ring-segment conflicts dominate (paper Figures 15/16).
+func saturatedScenario() cell.Scenario {
+	return cell.Scenario{Kind: "cycle", SPEs: 8, Chunk: 4096, Volume: 256 << 10}
+}
+
+// BenchmarkEIBSaturated measures a full saturated-EIB simulation,
+// including allocations: the scheduler hot path is required to do
+// near-zero allocations per transfer, so allocs/op here is a guarded
+// figure of merit, not just a curiosity.
+func BenchmarkEIBSaturated(b *testing.B) {
+	sc := saturatedScenario()
+	var cycles sim.Time
+	var transfers int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := cell.DefaultConfig()
+		cfg.Layout = cell.RandomLayout(3)
+		sys := cell.New(cfg)
+		total, err := sc.Install(sys)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys.Run()
+		cycles = sys.Eng.Now()
+		transfers = sys.Bus.Stats().Transfers
+		_ = total
+	}
+	b.StopTimer()
+	perOp := testing.AllocsPerRun(1, func() {
+		cfg := cell.DefaultConfig()
+		cfg.Layout = cell.RandomLayout(3)
+		sys := cell.New(cfg)
+		if _, err := sc.Install(sys); err != nil {
+			b.Fatal(err)
+		}
+		sys.Run()
+	})
+	b.ReportMetric(perOp/float64(transfers), "allocs/transfer")
+	recordBenchBaseline(b, "EIBSaturated", map[string]float64{
+		"cycles":          float64(cycles),
+		"transfers":       float64(transfers),
+		"allocs/op":       perOp,
+		"allocs/transfer": perOp / float64(transfers),
+	})
+}
+
+// BenchmarkSweep measures the parallel sweep runner end to end: a small
+// seeds x chunks grid of saturated-cycle runs fanned across workers.
+func BenchmarkSweep(b *testing.B) {
+	spec := core.SweepSpec{
+		Scenario: "cycle",
+		SPEs:     8,
+		Chunks:   []int{1024, 4096},
+		Seeds:    []int64{1, 2, 3},
+		Volume:   128 << 10,
+	}
+	var results []core.SweepResult
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		results, err = core.RunSweep(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	points := float64(len(results))
+	elapsed := b.Elapsed().Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(points*float64(b.N)/elapsed, "points/s")
+	}
+	recordBenchBaseline(b, "Sweep", map[string]float64{
+		"points":  points,
+		"ns/op":   elapsed * 1e9 / float64(b.N),
+		"point/s": points * float64(b.N) / elapsed,
 	})
 }
 

@@ -7,9 +7,15 @@
 //	cellbench -experiment spe-mem-get
 //	cellbench -all -format csv > results.csv
 //	cellbench -experiment spe-couples -paper -full
+//	cellbench -sweep cycle -spes 8 -chunks 1024,4096,16384 -seeds 32 -workers 8
 //
 // The default parameters move 2 MB per SPE across 10 sampled SPE layouts;
 // -paper switches to the full 32 MB per SPE of the original setup.
+//
+// The -sweep mode fans a grid of independent simulations (layout seeds x
+// chunk sizes of one scenario) across worker goroutines — each grid point
+// owns its event engine, so results are identical for any -workers value
+// — and prints one CSV row per point.
 package main
 
 import (
@@ -17,6 +23,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"cellbe/internal/cell"
@@ -37,6 +45,14 @@ func main() {
 		quiet  = flag.Bool("q", false, "suppress progress messages on stderr")
 		cfgIn  = flag.String("config", "", "JSON file overriding the machine configuration")
 		dump   = flag.Bool("dump-config", false, "print the default machine configuration as JSON and exit")
+
+		sweep   = flag.String("sweep", "", "sweep a scenario (pair, couples, cycle, or mem) over seeds x chunks")
+		spes    = flag.Int("spes", 8, "sweep: number of SPEs involved")
+		op      = flag.String("op", "get", "sweep: mem scenario operation (get, put, or copy)")
+		chunks  = flag.String("chunks", "1024,4096,16384", "sweep: comma-separated DMA element sizes")
+		seeds   = flag.Int("seeds", 10, "sweep: number of layout seeds (starting at -seed)")
+		volume  = flag.Int64("volume", 1<<20, "sweep: bytes per SPE")
+		workers = flag.Int("workers", 0, "sweep: concurrent simulations (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -53,6 +69,14 @@ func main() {
 	if *list {
 		for _, e := range core.Experiments() {
 			fmt.Printf("%-18s %-22s %s\n", e.Name, e.Figure, e.Description)
+		}
+		return
+	}
+
+	if *sweep != "" {
+		if err := runSweep(*sweep, *spes, *op, *chunks, *seeds, *seed, *volume, *workers, *cfgIn, *quiet); err != nil {
+			fmt.Fprintf(os.Stderr, "cellbench: %v\n", err)
+			os.Exit(2)
 		}
 		return
 	}
@@ -126,4 +150,58 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// runSweep parses the sweep flags, fans the grid across workers via
+// core.RunSweep and prints one CSV row per grid point.
+func runSweep(scenario string, spes int, op, chunkList string, seedCount int, firstSeed, volume int64, workers int, cfgIn string, quiet bool) error {
+	var chunkSizes []int
+	for _, f := range strings.Split(chunkList, ",") {
+		c, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return fmt.Errorf("bad -chunks entry %q: %v", f, err)
+		}
+		chunkSizes = append(chunkSizes, c)
+	}
+	if seedCount <= 0 {
+		return fmt.Errorf("-seeds must be positive")
+	}
+	seedList := make([]int64, seedCount)
+	for i := range seedList {
+		seedList[i] = firstSeed + int64(i)
+	}
+	spec := core.SweepSpec{
+		Scenario: scenario,
+		SPEs:     spes,
+		Op:       op,
+		Chunks:   chunkSizes,
+		Seeds:    seedList,
+		Volume:   volume,
+		Workers:  workers,
+	}
+	if cfgIn != "" {
+		data, err := os.ReadFile(cfgIn)
+		if err != nil {
+			return err
+		}
+		base := cell.DefaultConfig()
+		if err := json.Unmarshal(data, &base); err != nil {
+			return fmt.Errorf("parsing %s: %v", cfgIn, err)
+		}
+		spec.Base = &base
+	}
+	start := time.Now()
+	results, err := core.RunSweep(spec)
+	if err != nil {
+		return err
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "swept %d points in %v\n", len(results), time.Since(start).Round(time.Millisecond))
+	}
+	fmt.Println("scenario,chunk,seed,cycles,GBps,transfers,wait_cycles,commands")
+	for _, r := range results {
+		fmt.Printf("%s,%d,%d,%d,%.3f,%d,%d,%d\n",
+			scenario, r.Chunk, r.Seed, r.Cycles, r.GBps, r.Transfers, r.WaitCycles, r.Commands)
+	}
+	return nil
 }

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,7 +19,6 @@ import (
 	"cellbe/internal/cell"
 	"cellbe/internal/eib"
 	"cellbe/internal/sim"
-	"cellbe/internal/spe"
 )
 
 func main() {
@@ -31,10 +31,22 @@ func main() {
 		seed     = flag.Int64("seed", 0, "layout seed (0 = identity)")
 		timeline = flag.Int64("timeline", 0, "print per-window utilization every N cycles (0 = off)")
 		dumpN    = flag.Int("dump-transfers", 0, "print the last N EIB transfers as CSV")
+		cfgIn    = flag.String("config", "", "JSON file overriding the machine configuration (see cellbench -dump-config)")
 	)
 	flag.Parse()
 
 	cfg := cell.DefaultConfig()
+	if *cfgIn != "" {
+		data, err := os.ReadFile(*cfgIn)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cellsim: %v\n", err)
+			os.Exit(2)
+		}
+		if err := json.Unmarshal(data, &cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "cellsim: parsing %s: %v\n", *cfgIn, err)
+			os.Exit(2)
+		}
+	}
 	cfg.Layout = cell.RandomLayout(*seed)
 	if *dumpN > 0 {
 		cfg.EIB.TraceCapacity = *dumpN
@@ -46,77 +58,14 @@ func main() {
 		fmt.Printf("  SPE%d -> phys %d -> ramp %v\n", logical, phys, eib.PhysicalSPERamp(phys))
 	}
 
-	var totalBytes int64
-	done := 0
-	spawn := func(idx int, bytes int64, kernel func(ctx *spe.Context)) {
-		totalBytes += bytes
-		sys.SPEs[idx].Run(fmt.Sprintf("spe%d", idx), func(ctx *spe.Context) {
-			kernel(ctx)
-			done++
-		})
-	}
-
-	pairKernel := func(idx, peer int) {
-		spawn(idx, 2*(*volume), func(ctx *spe.Context) {
-			peerEA := sys.LSEA(peer, 0)
-			slots := (128 << 10) / *chunk
-			if slots > 8 {
-				slots = 8
-			}
-			if slots < 1 {
-				slots = 1
-			}
-			i := 0
-			for off := int64(0); off < *volume; off += int64(*chunk) {
-				slot := i % slots
-				ctx.Get(slot*(*chunk), peerEA+int64(slot*(*chunk)), *chunk, 0)
-				ctx.Put((128<<10)/2+slot*(*chunk), peerEA+int64(slot*(*chunk)), *chunk, 1)
-				i++
-			}
-			ctx.WaitTagMask(1<<0 | 1<<1)
-		})
-	}
-
-	switch *scenario {
-	case "pair":
-		pairKernel(0, 1)
-	case "couples":
-		for c := 0; c < *spes/2; c++ {
-			pairKernel(2*c, 2*c+1)
-		}
-	case "cycle":
-		for i := 0; i < *spes; i++ {
-			pairKernel(i, (i+1)%*spes)
-		}
-	case "mem":
-		for i := 0; i < *spes; i++ {
-			i := i
-			base := sys.Alloc(*volume, 1<<16)
-			spawn(i, *volume, func(ctx *spe.Context) {
-				tag := 0
-				for off := int64(0); off < *volume; off += int64(*chunk) {
-					ls := int(off) % (128 << 10)
-					if ls+*chunk > 128<<10 {
-						ls = 0
-					}
-					switch *op {
-					case "get":
-						ctx.Get(ls, base+off, *chunk, tag)
-					case "put":
-						ctx.Put(ls, base+off, *chunk, tag)
-					case "copy":
-						ctx.GetF(ls, base+off, *chunk, tag)
-						ctx.PutF(ls, base+off, *chunk, tag)
-					default:
-						fmt.Fprintf(os.Stderr, "cellsim: unknown op %q\n", *op)
-						os.Exit(2)
-					}
-				}
-				ctx.WaitTagMask(^uint32(0))
-			})
-		}
-	default:
-		fmt.Fprintf(os.Stderr, "cellsim: unknown scenario %q\n", *scenario)
+	// Validation happens before any kernel runs, so a bad -chunk (too
+	// large for a DMA element, unaligned, or overflowing the local-store
+	// apertures) fails here with a clear message instead of corrupting
+	// offsets or panicking deep inside the simulation.
+	sc := cell.Scenario{Kind: *scenario, SPEs: *spes, Chunk: *chunk, Volume: *volume, Op: *op}
+	totalBytes, err := sc.Install(sys)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cellsim: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -133,8 +82,14 @@ func main() {
 	fmt.Printf("aggregate bandwidth: %.2f GB/s\n", sys.GBps(totalBytes, cycles))
 
 	st := sys.Bus.Stats()
-	fmt.Printf("\nEIB: %d transfers, %d MB, %d commands, wait %d cycles\n",
-		st.Transfers, st.Bytes>>20, st.Commands, st.WaitCycles)
+	fmt.Printf("\nEIB: %d transfers (%d ramp-local), %d MB, %d commands, wait %d cycles\n",
+		st.Transfers, st.LocalTransfers, st.Bytes>>20, st.Commands, st.WaitCycles)
+	// Ramp-local transfers never wait on the rings, so the meaningful
+	// average excludes them (see eib.Stats.WaitCycles).
+	if ring := st.Transfers - st.LocalTransfers; ring > 0 {
+		fmt.Printf("  average wait per ring transfer: %.1f cycles\n",
+			float64(st.WaitCycles)/float64(ring))
+	}
 	for i, busy := range st.BusyCycles {
 		dir := "cw"
 		if i >= 2 {
@@ -164,7 +119,6 @@ func main() {
 		fmt.Printf("SPE%d MFC: %d commands, %d packets, %d MB\n",
 			i, ms.Commands, ms.Packets, ms.Bytes>>20)
 	}
-	_ = done
 
 	if *dumpN > 0 {
 		fmt.Printf("\nissued,start,end,src,dst,bytes,ring\n")
@@ -178,6 +132,9 @@ func main() {
 // runTimeline drives the simulation in fixed windows, printing per-window
 // EIB and memory-bank traffic so saturation phases are visible over time.
 func runTimeline(sys *cell.System, window int64) {
+	// bytes/cycle to GB/s at the configured clock — not a hardcoded
+	// 2.1 GHz, so -timeline output stays correct under -config overrides.
+	clock := sys.Config().ClockGHz
 	fmt.Printf("\n%12s %10s %10s %10s %10s\n", "cycles", "EIB GB/s", "bank0 GB/s", "bank1 GB/s", "cmds")
 	var prevBytes, prevB0, prevB1, prevCmd int64
 	for {
@@ -186,7 +143,7 @@ func runTimeline(sys *cell.System, window int64) {
 		st := sys.Bus.Stats()
 		b0 := sys.Mem.BankStats(0)
 		b1 := sys.Mem.BankStats(1)
-		gb := func(d int64) float64 { return float64(d) * 2.1 / float64(window) }
+		gb := func(d int64) float64 { return float64(d) * clock / float64(window) }
 		r0 := b0.ReadBytes + b0.WriteBytes
 		r1 := b1.ReadBytes + b1.WriteBytes
 		fmt.Printf("%12d %10.2f %10.2f %10.2f %10d\n",

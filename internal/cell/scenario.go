@@ -1,0 +1,161 @@
+package cell
+
+import (
+	"fmt"
+
+	"cellbe/internal/mfc"
+	"cellbe/internal/spe"
+)
+
+// Scenario describes one of the canonical DMA workloads the paper's
+// SPE-to-SPE experiments are built from. The same scenarios back the
+// cellsim debugging tool, the cellbench sweep runner, the saturation
+// benchmarks and the scheduler determinism test, so all of them drive
+// cycle-for-cycle identical kernels.
+type Scenario struct {
+	// Kind selects the traffic pattern: "pair" (SPE0 pulls from and
+	// pushes to SPE1), "couples" (disjoint pairs), "cycle" (SPE i
+	// exchanges with SPE i+1 mod N, the paper's worst case) or "mem"
+	// (every SPE streams against main memory).
+	Kind string
+	// SPEs is the number of SPEs involved (couples/cycle/mem; pair
+	// always uses SPE0 and SPE1).
+	SPEs int
+	// Chunk is the DMA element size in bytes.
+	Chunk int
+	// Volume is the bytes moved per active SPE.
+	Volume int64
+	// Op is the mem-scenario operation: "get", "put" or "copy".
+	Op string
+}
+
+// pairGetBase/pairPutBase split an SPE's local store into a receive and a
+// send aperture for the pair kernels. The put aperture starts at 128 KB so
+// the 8 in-flight slots of the largest (16 KB) element never overlap the
+// get slots: 128 KB + 8*16 KB = 256 KB exactly fills the local store.
+const (
+	pairGetBase = 0
+	pairPutBase = 128 << 10
+)
+
+// pairSlots returns the number of in-flight buffer slots the pair kernel
+// cycles through for a given element size.
+func pairSlots(chunk int) int {
+	slots := (128 << 10) / chunk
+	if slots > 8 {
+		slots = 8
+	}
+	if slots < 1 {
+		slots = 1
+	}
+	return slots
+}
+
+// Validate checks the scenario parameters against the architectural
+// limits before any kernel runs, so a bad -chunk fails with a clear
+// message instead of a panic (or silently corrupted local-store offsets)
+// deep inside the simulation.
+func (sc Scenario) Validate() error {
+	switch sc.Kind {
+	case "pair", "couples", "cycle", "mem":
+	default:
+		return fmt.Errorf("cell: unknown scenario %q (want pair, couples, cycle or mem)", sc.Kind)
+	}
+	if sc.Chunk < 16 || sc.Chunk%16 != 0 {
+		return fmt.Errorf("cell: chunk %d must be a multiple of 16 bytes", sc.Chunk)
+	}
+	if sc.Chunk > mfc.MaxTransfer {
+		return fmt.Errorf("cell: chunk %d exceeds the %d-byte DMA element limit", sc.Chunk, mfc.MaxTransfer)
+	}
+	if sc.Volume <= 0 {
+		return fmt.Errorf("cell: volume must be positive")
+	}
+	if sc.Kind != "pair" {
+		if sc.SPEs < 1 || sc.SPEs > NumSPEs {
+			return fmt.Errorf("cell: %d SPEs out of range 1..%d", sc.SPEs, NumSPEs)
+		}
+		if sc.Kind == "couples" && sc.SPEs%2 != 0 {
+			return fmt.Errorf("cell: couples scenario needs an even SPE count, got %d", sc.SPEs)
+		}
+	}
+	if sc.Kind == "pair" || sc.Kind == "couples" || sc.Kind == "cycle" {
+		// The put aperture must hold every slot below the top of local
+		// store; guaranteed for chunk <= MaxTransfer, but keep the check
+		// so aperture changes cannot silently reintroduce an overflow.
+		slots := pairSlots(sc.Chunk)
+		if end := pairPutBase + slots*sc.Chunk; end > spe.LocalStoreBytes {
+			return fmt.Errorf("cell: chunk %d overflows local store (put aperture ends at %#x)", sc.Chunk, end)
+		}
+	}
+	if sc.Kind == "mem" {
+		switch sc.Op {
+		case "get", "put", "copy":
+		default:
+			return fmt.Errorf("cell: unknown mem op %q (want get, put or copy)", sc.Op)
+		}
+	}
+	return nil
+}
+
+// Install validates sc and installs its kernels on sys. It returns the
+// total payload bytes the scenario accounts for (the figure bandwidth is
+// computed from). Run the system afterwards to execute the kernels.
+func (sc Scenario) Install(sys *System) (int64, error) {
+	if err := sc.Validate(); err != nil {
+		return 0, err
+	}
+	var total int64
+	spawn := func(idx int, bytes int64, kernel func(ctx *spe.Context)) {
+		total += bytes
+		sys.SPEs[idx].Run(fmt.Sprintf("spe%d", idx), kernel)
+	}
+	pairKernel := func(idx, peer int) {
+		spawn(idx, 2*sc.Volume, func(ctx *spe.Context) {
+			peerEA := sys.LSEA(peer, 0)
+			slots := pairSlots(sc.Chunk)
+			i := 0
+			for off := int64(0); off < sc.Volume; off += int64(sc.Chunk) {
+				slot := i % slots
+				ctx.Get(pairGetBase+slot*sc.Chunk, peerEA+int64(slot*sc.Chunk), sc.Chunk, 0)
+				ctx.Put(pairPutBase+slot*sc.Chunk, peerEA+int64(slot*sc.Chunk), sc.Chunk, 1)
+				i++
+			}
+			ctx.WaitTagMask(1<<0 | 1<<1)
+		})
+	}
+	switch sc.Kind {
+	case "pair":
+		pairKernel(0, 1)
+	case "couples":
+		for c := 0; c < sc.SPEs/2; c++ {
+			pairKernel(2*c, 2*c+1)
+		}
+	case "cycle":
+		for i := 0; i < sc.SPEs; i++ {
+			pairKernel(i, (i+1)%sc.SPEs)
+		}
+	case "mem":
+		for i := 0; i < sc.SPEs; i++ {
+			base := sys.Alloc(sc.Volume, 1<<16)
+			spawn(i, sc.Volume, func(ctx *spe.Context) {
+				for off := int64(0); off < sc.Volume; off += int64(sc.Chunk) {
+					ls := int(off) % (128 << 10)
+					if ls+sc.Chunk > 128<<10 {
+						ls = 0
+					}
+					switch sc.Op {
+					case "get":
+						ctx.Get(ls, base+off, sc.Chunk, 0)
+					case "put":
+						ctx.Put(ls, base+off, sc.Chunk, 0)
+					case "copy":
+						ctx.GetF(ls, base+off, sc.Chunk, 0)
+						ctx.PutF(ls, base+off, sc.Chunk, 0)
+					}
+				}
+				ctx.WaitTagMask(^uint32(0))
+			})
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"cellbe/internal/cell"
+	"cellbe/internal/sim"
+)
+
+// SweepSpec describes a grid sweep of one DMA scenario over layout seeds
+// and chunk sizes. Each grid point is an independent simulation (its own
+// cell.System and event engine — the engine is single-threaded by design,
+// so parallelism is across runs, never within one), which makes the sweep
+// embarrassingly parallel and the results independent of worker count.
+type SweepSpec struct {
+	// Scenario is the workload kind: pair, couples, cycle or mem.
+	Scenario string
+	// SPEs is the SPE count handed to the scenario.
+	SPEs int
+	// Op is the mem-scenario operation (get, put or copy); ignored for
+	// the SPE-to-SPE scenarios. Empty defaults to get.
+	Op string
+	// Chunks are the DMA element sizes to sweep.
+	Chunks []int
+	// Seeds are the layout seeds to sweep (seed 0 is the identity
+	// layout).
+	Seeds []int64
+	// Volume is the bytes per active SPE at every grid point.
+	Volume int64
+	// Workers caps the number of concurrent simulations; <= 0 uses
+	// GOMAXPROCS.
+	Workers int
+	// Base overrides the machine configuration; nil means
+	// cell.DefaultConfig.
+	Base *cell.Config
+}
+
+// SweepResult is the outcome of one (chunk, seed) grid point.
+type SweepResult struct {
+	Chunk      int
+	Seed       int64
+	Cycles     sim.Time
+	GBps       float64
+	Transfers  int64
+	WaitCycles sim.Time
+	Commands   int64
+}
+
+// validate rejects impossible grids before any goroutine spawns.
+func (s SweepSpec) validate() error {
+	if len(s.Chunks) == 0 {
+		return fmt.Errorf("core: sweep needs at least one chunk size")
+	}
+	if len(s.Seeds) == 0 {
+		return fmt.Errorf("core: sweep needs at least one seed")
+	}
+	for _, c := range s.Chunks {
+		sc := s.scenario(c)
+		if err := sc.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s SweepSpec) scenario(chunk int) cell.Scenario {
+	op := s.Op
+	if op == "" {
+		op = "get"
+	}
+	return cell.Scenario{Kind: s.Scenario, SPEs: s.SPEs, Chunk: chunk, Volume: s.Volume, Op: op}
+}
+
+// RunSweep executes every (chunk, seed) grid point of spec, fanning the
+// independent simulations across worker goroutines, and returns results
+// sorted by (chunk, seed). The result of each point is bit-identical
+// regardless of Workers: each simulation owns its engine, and workers
+// only write disjoint slice slots.
+func RunSweep(spec SweepSpec) ([]SweepResult, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	type point struct {
+		chunk int
+		seed  int64
+	}
+	var grid []point
+	for _, c := range spec.Chunks {
+		for _, sd := range spec.Seeds {
+			grid = append(grid, point{chunk: c, seed: sd})
+		}
+	}
+	out := make([]SweepResult, len(grid))
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(grid) {
+		workers = len(grid)
+	}
+
+	runPoint := func(pt point) (SweepResult, error) {
+		cfg := cell.DefaultConfig()
+		if spec.Base != nil {
+			cfg = *spec.Base
+		}
+		cfg.Layout = cell.RandomLayout(pt.seed)
+		sys := cell.New(cfg)
+		total, err := spec.scenario(pt.chunk).Install(sys)
+		if err != nil {
+			return SweepResult{}, err
+		}
+		sys.Run()
+		st := sys.Bus.Stats()
+		return SweepResult{
+			Chunk:      pt.chunk,
+			Seed:       pt.seed,
+			Cycles:     sys.Eng.Now(),
+			GBps:       sys.GBps(total, sys.Eng.Now()),
+			Transfers:  st.Transfers,
+			WaitCycles: st.WaitCycles,
+			Commands:   st.Commands,
+		}, nil
+	}
+
+	if workers <= 1 {
+		for i, pt := range grid {
+			r, err := runPoint(pt)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = r
+		}
+	} else {
+		var (
+			wg       sync.WaitGroup
+			next     = make(chan int)
+			errMu    sync.Mutex
+			firstErr error
+		)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					r, err := runPoint(grid[i])
+					if err != nil {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						errMu.Unlock()
+						continue
+					}
+					out[i] = r
+				}
+			}()
+		}
+		for i := range grid {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Chunk != out[j].Chunk {
+			return out[i].Chunk < out[j].Chunk
+		}
+		return out[i].Seed < out[j].Seed
+	})
+	return out, nil
+}

@@ -1,0 +1,77 @@
+package core
+
+import "testing"
+
+func sweepSpec(workers int) SweepSpec {
+	return SweepSpec{
+		Scenario: "cycle",
+		SPEs:     4,
+		Chunks:   []int{1024, 4096},
+		Seeds:    []int64{0, 1, 2},
+		Volume:   128 << 10,
+		Workers:  workers,
+	}
+}
+
+// TestSweepWorkerIndependence is the core property of the parallel sweep
+// runner: every grid point owns its simulation engine, so the results
+// must be bit-identical no matter how many workers the grid is fanned
+// across. Under -race this is also the regression test for the fan-out
+// machinery itself.
+func TestSweepWorkerIndependence(t *testing.T) {
+	serial, err := RunSweep(sweepSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		parallel, err := RunSweep(sweepSpec(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(parallel) != len(serial) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(parallel), len(serial))
+		}
+		for i := range serial {
+			if parallel[i] != serial[i] {
+				t.Errorf("workers=%d point %d diverged: %+v vs serial %+v",
+					workers, i, parallel[i], serial[i])
+			}
+		}
+	}
+}
+
+func TestSweepResultsOrdered(t *testing.T) {
+	results, err := RunSweep(sweepSpec(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 6 {
+		t.Fatalf("got %d results, want 6", len(results))
+	}
+	for i := 1; i < len(results); i++ {
+		a, b := results[i-1], results[i]
+		if a.Chunk > b.Chunk || (a.Chunk == b.Chunk && a.Seed >= b.Seed) {
+			t.Fatalf("results not sorted by (chunk, seed): %+v before %+v", a, b)
+		}
+	}
+	for _, r := range results {
+		if r.Cycles <= 0 || r.GBps <= 0 || r.Transfers <= 0 {
+			t.Errorf("degenerate sweep point: %+v", r)
+		}
+	}
+}
+
+func TestSweepRejectsBadSpecs(t *testing.T) {
+	bad := []SweepSpec{
+		{Scenario: "cycle", SPEs: 4, Chunks: nil, Seeds: []int64{1}, Volume: 1 << 20},
+		{Scenario: "cycle", SPEs: 4, Chunks: []int{4096}, Seeds: nil, Volume: 1 << 20},
+		{Scenario: "warp", SPEs: 4, Chunks: []int{4096}, Seeds: []int64{1}, Volume: 1 << 20},
+		{Scenario: "cycle", SPEs: 4, Chunks: []int{64 << 10}, Seeds: []int64{1}, Volume: 1 << 20},
+		{Scenario: "couples", SPEs: 3, Chunks: []int{4096}, Seeds: []int64{1}, Volume: 1 << 20},
+	}
+	for i, spec := range bad {
+		if _, err := RunSweep(spec); err == nil {
+			t.Errorf("spec %d: expected an error, got none (%+v)", i, spec)
+		}
+	}
+}

@@ -138,11 +138,23 @@ type ring struct {
 
 // Stats aggregates EIB activity counters for tests and reporting.
 type Stats struct {
-	Transfers    int64
-	Bytes        int64
-	Commands     int64
-	BusyCycles   [4]sim.Time // per-ring total reserved cycles
-	WaitCycles   sim.Time    // total cycles transfers waited beyond their earliest start
+	// Transfers counts every data transfer, including ramp-local
+	// (src==dst) ones that never touch the rings.
+	Transfers int64
+	// LocalTransfers counts the ramp-local subset of Transfers. Those
+	// transfers contribute zero to WaitCycles by definition (there is no
+	// ring contention to wait on), so an average wait per *ring* transfer
+	// is WaitCycles / (Transfers - LocalTransfers).
+	LocalTransfers int64
+	Bytes          int64
+	Commands       int64
+	BusyCycles     [4]sim.Time // per-ring total reserved cycles
+	// WaitCycles is the total cycles transfers spent waiting beyond their
+	// earliest eligible start, summed over all transfers. Ramp-local
+	// transfers are counted explicitly with zero wait: they inflate
+	// Transfers but never WaitCycles, which is why the per-transfer
+	// average must exclude them (see LocalTransfers).
+	WaitCycles   sim.Time
 	PerRampBytes [NumRamps]int64
 	PerDirCount  [2]int64
 }
@@ -231,21 +243,50 @@ func Hops(src, dst RampID, d Direction) int {
 	return int((src - dst + NumRamps) % NumRamps)
 }
 
-// pathSegments returns the segment indices used travelling from src to dst
-// in direction d.
-func pathSegments(src, dst RampID, d Direction) []int {
-	hops := Hops(src, dst, d)
-	segs := make([]int, 0, hops)
-	cur := int(src)
-	for i := 0; i < hops; i++ {
-		segs = append(segs, cur)
-		if d == Clockwise {
-			cur = (cur + 1) % NumRamps
-		} else {
-			cur = (cur - 1 + NumRamps) % NumRamps
+// pathTable holds the segment indices for every (direction, src, dst)
+// triple, sliced out of one shared backing array. The ring topology is
+// fixed, so the 12x12x2 table is built once at package init; rebuilding a
+// fresh []int per candidate ring per Transfer call was one of the largest
+// allocation sources in saturated runs. Callers must treat the returned
+// slices as read-only.
+var pathTable [2][NumRamps][NumRamps][]int
+
+func init() {
+	// Total segments: for each direction, sum of hop counts over all
+	// src/dst pairs. One flat array keeps the table cache-friendly.
+	total := 0
+	for src := 0; src < NumRamps; src++ {
+		for dst := 0; dst < NumRamps; dst++ {
+			total += Hops(RampID(src), RampID(dst), Clockwise)
+			total += Hops(RampID(src), RampID(dst), Counterclockwise)
 		}
 	}
-	return segs
+	backing := make([]int, 0, total)
+	for _, d := range []Direction{Clockwise, Counterclockwise} {
+		for src := 0; src < NumRamps; src++ {
+			for dst := 0; dst < NumRamps; dst++ {
+				hops := Hops(RampID(src), RampID(dst), d)
+				from := len(backing)
+				cur := src
+				for i := 0; i < hops; i++ {
+					backing = append(backing, cur)
+					if d == Clockwise {
+						cur = (cur + 1) % NumRamps
+					} else {
+						cur = (cur - 1 + NumRamps) % NumRamps
+					}
+				}
+				pathTable[d][src][dst] = backing[from:len(backing):len(backing)]
+			}
+		}
+	}
+}
+
+// pathSegments returns the segment indices used travelling from src to dst
+// in direction d. The result is a view into a precomputed shared table and
+// must not be mutated.
+func pathSegments(src, dst RampID, d Direction) []int {
+	return pathTable[d][src][dst]
 }
 
 // Command reserves a slot on the snooped command bus at or after earliest
@@ -283,9 +324,11 @@ func (e *EIB) Transfer(src, dst RampID, bytes int, earliest sim.Time, done func(
 	if src == dst {
 		end := earliest + dur
 		e.stats.Transfers++
+		e.stats.LocalTransfers++
+		e.stats.WaitCycles += 0 // local transfers wait on nothing, by definition
 		e.stats.Bytes += int64(bytes)
 		e.record(TransferRecord{Issued: e.eng.Now(), Start: earliest, End: end, Src: src, Dst: dst, Bytes: bytes, Ring: -1})
-		e.eng.At(end, func() { done(end) })
+		e.eng.AtCall(end, done, end)
 		return
 	}
 
@@ -355,5 +398,5 @@ func (e *EIB) Transfer(src, dst RampID, bytes int, earliest sim.Time, done func(
 	e.stats.PerDirCount[r.dir]++
 	e.record(TransferRecord{Issued: e.eng.Now(), Start: bestStart, End: end, Src: src, Dst: dst, Bytes: bytes, Ring: bestRing})
 
-	e.eng.At(end, func() { done(end) })
+	e.eng.AtCall(end, done, end)
 }

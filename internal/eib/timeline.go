@@ -15,8 +15,22 @@ import "cellbe/internal/sim"
 // flows pay re-arbitration. This is what makes one flow per ring run at
 // full rate while oversubscribed rings (the paper's saturated-EIB
 // experiments) lose efficiency.
+//
+// The representation is tuned for the simulator's hot path, where prune /
+// earliestFit / reserve are called for every candidate ring of every
+// transfer. The live intervals are the window iv[head:]: prune advances
+// the head cursor instead of re-slicing (re-slicing permanently discards
+// the prefix capacity, so the slice crawls through its backing array and
+// reallocates over and over). The expired prefix iv[:head] doubles as a
+// free list of slots: a reserve that inserts near the front shifts the
+// short prefix left into the freed cells instead of shifting the whole
+// tail right, and once the dead prefix dominates, prune compacts the live
+// window back to the start of the same backing array. Steady state does
+// no allocation at all; all searches binary-search the (end-sorted,
+// disjoint) live window instead of scanning it linearly.
 type timeline struct {
-	iv []interval // sorted by start, disjoint
+	iv   []interval // backing store; live, sorted, disjoint range is iv[head:]
+	head int        // amortized prune cursor: index of the first live interval
 }
 
 type interval struct {
@@ -24,17 +38,43 @@ type interval struct {
 	owner int32
 }
 
+// compactAt is the dead-prefix length beyond which prune copies the live
+// window back to the front of the backing array. Small enough to bound
+// waste, large enough that each interval is moved O(1) times overall.
+const compactAt = 32
+
+// live returns the live (not yet pruned) intervals, sorted and disjoint.
+func (t *timeline) live() []interval { return t.iv[t.head:] }
+
+// search returns the index (relative to the live window) of the first
+// live interval whose end is after t. Intervals are disjoint and sorted
+// by start, so ends are sorted too and the bound is binary-searchable.
+func (t *timeline) search(after sim.Time) int {
+	live := t.iv[t.head:]
+	lo, hi := 0, len(live)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if live[mid].e <= after {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
 // prune discards intervals that ended at or before now; they can never
 // affect a future reservation because earliest >= now always holds.
 // The most recent pruned interval is kept so switching gaps against the
 // immediately preceding transfer remain visible.
 func (t *timeline) prune(now sim.Time) {
-	i := 0
-	for i < len(t.iv) && t.iv[i].e <= now {
-		i++
+	if i := t.search(now); i > 1 {
+		t.head += i - 1
 	}
-	if i > 1 {
-		t.iv = t.iv[i-1:]
+	if t.head >= compactAt && 2*t.head >= len(t.iv) {
+		n := copy(t.iv, t.iv[t.head:])
+		t.iv = t.iv[:n]
+		t.head = 0
 	}
 }
 
@@ -42,14 +82,20 @@ func (t *timeline) prune(now sim.Time) {
 // dur fits, paying a switching gap of gap cycles against any neighbouring
 // interval of a different owner.
 func (t *timeline) earliestFit(earliest, dur sim.Time, owner int32, gap sim.Time) sim.Time {
+	live := t.iv[t.head:]
+	n := len(live)
+	// Skip intervals that can constrain nothing: with e + gap <= earliest
+	// they can neither overlap a start >= earliest nor push it via a
+	// switching gap, and no fit can end before them. The remaining
+	// candidates start at the binary-searched bound.
+	first := t.search(earliest - gap)
 	start := earliest
-	n := len(t.iv)
-	for i := 0; i <= n; i++ {
+	for i := first; i <= n; i++ {
 		// Minimum start after predecessor i-1 (plus switching gap when
 		// the predecessor belongs to a different flow).
 		if i > 0 {
-			min := t.iv[i-1].e
-			if t.iv[i-1].owner != owner {
+			min := live[i-1].e
+			if live[i-1].owner != owner {
 				min += gap
 			}
 			if start < min {
@@ -61,8 +107,8 @@ func (t *timeline) earliestFit(earliest, dur sim.Time, owner int32, gap sim.Time
 		}
 		// Latest end that fits before successor i (minus switching gap
 		// when the successor belongs to a different flow).
-		limit := t.iv[i].s
-		if t.iv[i].owner != owner {
+		limit := live[i].s
+		if live[i].owner != owner {
 			limit -= gap
 		}
 		if start+dur <= limit {
@@ -77,36 +123,45 @@ func (t *timeline) earliestFit(earliest, dur sim.Time, owner int32, gap sim.Time
 // reservations panic.
 func (t *timeline) reserve(s, dur sim.Time, owner int32) {
 	e := s + dur
-	// Find insertion point (first interval starting at or after s).
-	lo, hi := 0, len(t.iv)
+	live := t.iv[t.head:]
+	// Find insertion point (first live interval starting at or after s).
+	lo, hi := 0, len(live)
 	for lo < hi {
-		mid := (lo + hi) / 2
-		if t.iv[mid].s < s {
+		mid := int(uint(lo+hi) >> 1)
+		if live[mid].s < s {
 			lo = mid + 1
 		} else {
 			hi = mid
 		}
 	}
-	if lo > 0 && t.iv[lo-1].e > s {
+	if lo > 0 && live[lo-1].e > s {
 		panic("eib: overlapping reservation")
 	}
-	if lo < len(t.iv) && t.iv[lo].s < e {
+	if lo < len(live) && live[lo].s < e {
 		panic("eib: overlapping reservation")
 	}
 	// Merge with neighbours when contiguous and same-owner.
-	mergePrev := lo > 0 && t.iv[lo-1].e == s && t.iv[lo-1].owner == owner
-	mergeNext := lo < len(t.iv) && t.iv[lo].s == e && t.iv[lo].owner == owner
+	mergePrev := lo > 0 && live[lo-1].e == s && live[lo-1].owner == owner
+	mergeNext := lo < len(live) && live[lo].s == e && live[lo].owner == owner
 	switch {
 	case mergePrev && mergeNext:
-		t.iv[lo-1].e = t.iv[lo].e
-		t.iv = append(t.iv[:lo], t.iv[lo+1:]...)
+		live[lo-1].e = live[lo].e
+		copy(live[lo:], live[lo+1:])
+		t.iv = t.iv[:len(t.iv)-1]
 	case mergePrev:
-		t.iv[lo-1].e = e
+		live[lo-1].e = e
 	case mergeNext:
-		t.iv[lo].s = s
+		live[lo].s = s
+	case t.head > 0 && lo <= len(live)-lo:
+		// Reuse a freed slot from the expired prefix: shifting the short
+		// run [head, head+lo) left by one is cheaper than shifting the
+		// tail right and avoids growing the slice.
+		copy(t.iv[t.head-1:], t.iv[t.head:t.head+lo])
+		t.head--
+		t.iv[t.head+lo] = interval{s: s, e: e, owner: owner}
 	default:
 		t.iv = append(t.iv, interval{})
-		copy(t.iv[lo+1:], t.iv[lo:])
-		t.iv[lo] = interval{s: s, e: e, owner: owner}
+		copy(t.iv[t.head+lo+1:], t.iv[t.head+lo:])
+		t.iv[t.head+lo] = interval{s: s, e: e, owner: owner}
 	}
 }

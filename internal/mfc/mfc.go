@@ -171,6 +171,10 @@ type cmdState struct {
 	totalIssued int64
 	readyAt     sim.Time // fence/barrier release time (set when satisfied)
 	done        func()
+	// onPacket is the per-packet completion callback, bound once at
+	// enqueue: a 16 KB command issues up to 128 line-sized packets, and
+	// allocating a fresh closure for each was a top allocation site.
+	onPacket func(end sim.Time)
 }
 
 // MFC is one SPE's memory flow controller.
@@ -306,6 +310,7 @@ func (m *MFC) enqueue(c Cmd, done func(), proxy bool) error {
 	}
 	m.seq++
 	st := &cmdState{cmd: c, seq: m.seq, proxy: proxy, done: done, readyAt: -1}
+	st.onPacket = m.packetDone(st)
 	m.active = append(m.active, st)
 	m.tagCount[c.Tag]++
 	m.stats.Commands++
@@ -455,11 +460,10 @@ func (m *MFC) pump() {
 		m.stats.Packets++
 		m.stats.Bytes += int64(n)
 
-		doneFn := m.packetDone(st)
 		if st.cmd.Kind.IsGet() {
-			m.fabric.ReadEA(ea, n, t, m.ls[lsOff:lsOff+n], doneFn)
+			m.fabric.ReadEA(ea, n, t, m.ls[lsOff:lsOff+n], st.onPacket)
 		} else {
-			m.fabric.WriteEA(ea, n, t, m.ls[lsOff:lsOff+n], doneFn)
+			m.fabric.WriteEA(ea, n, t, m.ls[lsOff:lsOff+n], st.onPacket)
 		}
 	}
 }

@@ -11,10 +11,7 @@
 // completion signals) shared by the hardware models.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is a point in simulated time, in CPU cycles.
 type Time int64
@@ -22,37 +19,33 @@ type Time int64
 // Forever is a time later than any event a simulation will ever schedule.
 const Forever Time = 1<<62 - 1
 
+// event is one scheduled callback. Either fn or tfn is set; tfn carries a
+// pre-bound Time argument so hot paths can schedule a completion callback
+// without wrapping it in a fresh closure (see AtCall).
 type event struct {
-	at  Time
-	seq int64
-	fn  func()
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	at   Time
+	seq  int64
+	fn   func()
+	tfn  func(Time)
+	targ Time
 }
 
 // Engine is a discrete-event simulator. The zero value is not usable; call
 // NewEngine.
+//
+// The pending-event queue is a hand-rolled binary min-heap over a plain
+// event slice rather than container/heap: the interface{}-based heap boxes
+// every pushed event onto the garbage-collected heap, which at millions of
+// events per run made event scheduling the dominant allocation site. The
+// inlined heap keeps one backing array that grows to the peak outstanding
+// event count and is then reused for the remainder of the run, so steady-
+// state scheduling is allocation-free. Ordering (timestamp, then
+// scheduling sequence) is identical to the container/heap implementation,
+// so simulation results are unchanged.
 type Engine struct {
 	now    Time
 	seq    int64
-	events eventHeap
+	events []event
 	nfired int64
 }
 
@@ -71,6 +64,58 @@ func (e *Engine) Fired() int64 { return e.nfired }
 // Pending returns the number of scheduled events not yet fired.
 func (e *Engine) Pending() int { return len(e.events) }
 
+// before reports whether event a fires before event b: earlier timestamp,
+// ties broken by scheduling order.
+func (a *event) before(b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push adds ev to the min-heap, sifting it up to its position.
+func (e *Engine) push(ev event) {
+	h := append(e.events, ev)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h[i].before(&h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	e.events = h
+}
+
+// pop removes and returns the earliest event, sifting the heap down.
+func (e *Engine) pop() event {
+	h := e.events
+	root := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // drop callback references so they can be collected
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h[l].before(&h[smallest]) {
+			smallest = l
+		}
+		if r < n && h[r].before(&h[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+	e.events = h
+	return root
+}
+
 // Schedule arranges for fn to run after d cycles. A negative delay panics:
 // models must not schedule into the past.
 func (e *Engine) Schedule(d Time, fn func()) {
@@ -86,7 +131,19 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: schedule at %d before now %d", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+	e.push(event{at: t, seq: e.seq, fn: fn})
+}
+
+// AtCall arranges for fn(arg) to run at absolute time t (>= Now). It is
+// the allocation-free form of At(t, func() { fn(arg) }) for completion
+// callbacks that take the completion time: the argument rides in the event
+// record instead of a closure.
+func (e *Engine) AtCall(t Time, fn func(Time), arg Time) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", t, e.now))
+	}
+	e.seq++
+	e.push(event{at: t, seq: e.seq, tfn: fn, targ: arg})
 }
 
 // Step fires the next event, advancing time to it. It reports whether an
@@ -95,10 +152,14 @@ func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(event)
+	ev := e.pop()
 	e.now = ev.at
 	e.nfired++
-	ev.fn()
+	if ev.fn != nil {
+		ev.fn()
+	} else {
+		ev.tfn(ev.targ)
+	}
 	return true
 }
 
