@@ -29,7 +29,9 @@ import (
 
 	"cellbe/internal/cell"
 	"cellbe/internal/core"
+	"cellbe/internal/fault"
 	"cellbe/internal/report"
+	"cellbe/internal/sim"
 )
 
 func main() {
@@ -45,6 +47,10 @@ func main() {
 		quiet  = flag.Bool("q", false, "suppress progress messages on stderr")
 		cfgIn  = flag.String("config", "", "JSON file overriding the machine configuration")
 		dump   = flag.Bool("dump-config", false, "print the default machine configuration as JSON and exit")
+
+		faultSpec = flag.String("faults", "", "fault injection spec, e.g. mfc-retry:0.01,xdr-stall:0.05 (keys: "+strings.Join(fault.Keys(), ", ")+")")
+		faultSeed = flag.Int64("fault-seed", 0, "seed for the deterministic fault stream (0 = derive from layout seed)")
+		maxCycles = flag.Int64("max-cycles", 0, "watchdog cycle budget per simulation (0 = unlimited)")
 
 		sweep   = flag.String("sweep", "", "sweep a scenario (pair, couples, cycle, or mem) over seeds x chunks")
 		spes    = flag.Int("spes", 8, "sweep: number of SPEs involved")
@@ -73,8 +79,14 @@ func main() {
 		return
 	}
 
+	base, err := baseConfig(*cfgIn, *faultSpec, *faultSeed, *maxCycles)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cellbench: %v\n", err)
+		os.Exit(2)
+	}
+
 	if *sweep != "" {
-		if err := runSweep(*sweep, *spes, *op, *chunks, *seeds, *seed, *volume, *workers, *cfgIn, *quiet); err != nil {
+		if err := runSweep(*sweep, *spes, *op, *chunks, *seeds, *seed, *volume, *workers, base, *quiet); err != nil {
 			fmt.Fprintf(os.Stderr, "cellbench: %v\n", err)
 			os.Exit(2)
 		}
@@ -89,19 +101,7 @@ func main() {
 		params.Runs = *runs
 	}
 	params.FirstSeed = *seed
-	if *cfgIn != "" {
-		data, err := os.ReadFile(*cfgIn)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "cellbench: %v\n", err)
-			os.Exit(2)
-		}
-		base := cell.DefaultConfig()
-		if err := json.Unmarshal(data, &base); err != nil {
-			fmt.Fprintf(os.Stderr, "cellbench: parsing %s: %v\n", *cfgIn, err)
-			os.Exit(2)
-		}
-		params.Base = &base
-	}
+	params.Base = base
 
 	var experiments []core.Experiment
 	switch {
@@ -152,9 +152,46 @@ func main() {
 	}
 }
 
+// baseConfig combines the -config override with the fault-injection and
+// watchdog flags into the machine configuration experiments run on. It
+// returns nil when every knob is at its default, so the common path keeps
+// using cell.DefaultConfig lazily.
+func baseConfig(cfgIn, faultSpec string, faultSeed, maxCycles int64) (*cell.Config, error) {
+	var base *cell.Config
+	ensure := func() *cell.Config {
+		if base == nil {
+			b := cell.DefaultConfig()
+			base = &b
+		}
+		return base
+	}
+	if cfgIn != "" {
+		data, err := os.ReadFile(cfgIn)
+		if err != nil {
+			return nil, err
+		}
+		if err := json.Unmarshal(data, ensure()); err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", cfgIn, err)
+		}
+	}
+	if faultSpec != "" {
+		fc, err := fault.ParseSpec(faultSpec)
+		if err != nil {
+			return nil, err
+		}
+		b := ensure()
+		b.Faults = fc
+		b.FaultSeed = faultSeed
+	}
+	if maxCycles > 0 {
+		ensure().MaxCycles = sim.Time(maxCycles)
+	}
+	return base, nil
+}
+
 // runSweep parses the sweep flags, fans the grid across workers via
 // core.RunSweep and prints one CSV row per grid point.
-func runSweep(scenario string, spes int, op, chunkList string, seedCount int, firstSeed, volume int64, workers int, cfgIn string, quiet bool) error {
+func runSweep(scenario string, spes int, op, chunkList string, seedCount int, firstSeed, volume int64, workers int, base *cell.Config, quiet bool) error {
 	var chunkSizes []int
 	for _, f := range strings.Split(chunkList, ",") {
 		c, err := strconv.Atoi(strings.TrimSpace(f))
@@ -178,17 +215,7 @@ func runSweep(scenario string, spes int, op, chunkList string, seedCount int, fi
 		Seeds:    seedList,
 		Volume:   volume,
 		Workers:  workers,
-	}
-	if cfgIn != "" {
-		data, err := os.ReadFile(cfgIn)
-		if err != nil {
-			return err
-		}
-		base := cell.DefaultConfig()
-		if err := json.Unmarshal(data, &base); err != nil {
-			return fmt.Errorf("parsing %s: %v", cfgIn, err)
-		}
-		spec.Base = &base
+		Base:     base,
 	}
 	start := time.Now()
 	results, err := core.RunSweep(spec)
@@ -198,10 +225,22 @@ func runSweep(scenario string, spes int, op, chunkList string, seedCount int, fi
 	if !quiet {
 		fmt.Fprintf(os.Stderr, "swept %d points in %v\n", len(results), time.Since(start).Round(time.Millisecond))
 	}
-	fmt.Println("scenario,chunk,seed,cycles,GBps,transfers,wait_cycles,commands")
+	failed := 0
+	fmt.Println("scenario,chunk,seed,cycles,GBps,transfers,wait_cycles,commands,error")
 	for _, r := range results {
-		fmt.Printf("%s,%d,%d,%d,%.3f,%d,%d,%d\n",
-			scenario, r.Chunk, r.Seed, r.Cycles, r.GBps, r.Transfers, r.WaitCycles, r.Commands)
+		errCol := ""
+		if r.Err != nil {
+			failed++
+			// Keep the CSV one row per point: first line of the
+			// diagnostic, quoted.
+			errCol = strings.SplitN(r.Err.Error(), "\n", 2)[0]
+			errCol = strings.ReplaceAll(errCol, `"`, `""`)
+		}
+		fmt.Printf("%s,%d,%d,%d,%.3f,%d,%d,%d,\"%s\"\n",
+			scenario, r.Chunk, r.Seed, r.Cycles, r.GBps, r.Transfers, r.WaitCycles, r.Commands, errCol)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d grid points failed (see error column)", failed, len(results))
 	}
 	return nil
 }

@@ -8,6 +8,8 @@
 //	cellsim -scenario pair -chunk 4096 -seed 3
 //	cellsim -scenario cycle -spes 8
 //	cellsim -scenario mem -spes 4 -op copy
+//	cellsim -scenario cycle -spes 8 -faults mfc-retry:0.01,xdr-stall:0.05 -fault-seed 7
+//	cellsim -scenario wedge -spes 4 -max-cycles 100000
 package main
 
 import (
@@ -15,15 +17,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"cellbe/internal/cell"
 	"cellbe/internal/eib"
+	"cellbe/internal/fault"
 	"cellbe/internal/sim"
 )
 
 func main() {
 	var (
-		scenario = flag.String("scenario", "pair", "pair, couples, cycle, or mem")
+		scenario = flag.String("scenario", "pair", "pair, couples, cycle, mem, or wedge")
 		spes     = flag.Int("spes", 2, "number of SPEs involved")
 		chunk    = flag.Int("chunk", 16384, "DMA element size in bytes")
 		op       = flag.String("op", "get", "mem scenario operation: get, put, or copy")
@@ -32,6 +36,10 @@ func main() {
 		timeline = flag.Int64("timeline", 0, "print per-window utilization every N cycles (0 = off)")
 		dumpN    = flag.Int("dump-transfers", 0, "print the last N EIB transfers as CSV")
 		cfgIn    = flag.String("config", "", "JSON file overriding the machine configuration (see cellbench -dump-config)")
+
+		faultSpec = flag.String("faults", "", "fault injection spec, e.g. mfc-retry:0.01,xdr-stall:0.05 (keys: "+strings.Join(fault.Keys(), ", ")+")")
+		faultSeed = flag.Int64("fault-seed", 1, "seed for the deterministic fault stream")
+		maxCycles = flag.Int64("max-cycles", 0, "watchdog cycle budget (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -50,6 +58,15 @@ func main() {
 	cfg.Layout = cell.RandomLayout(*seed)
 	if *dumpN > 0 {
 		cfg.EIB.TraceCapacity = *dumpN
+	}
+	if *faultSpec != "" {
+		fc, err := fault.ParseSpec(*faultSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cellsim: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Faults = fc
+		cfg.FaultSeed = *faultSeed
 	}
 	sys := cell.New(cfg)
 
@@ -71,8 +88,15 @@ func main() {
 
 	if *timeline > 0 {
 		runTimeline(sys, *timeline)
-	} else {
-		sys.Run()
+		if err := sys.Verify(); err != nil {
+			fmt.Fprintf(os.Stderr, "cellsim: %v\n", err)
+			os.Exit(1)
+		}
+	} else if err := sys.RunChecked(sim.Time(*maxCycles)); err != nil {
+		// A wedged or byte-losing run exits non-zero with the structured
+		// diagnostic (stuck processes, outstanding MFC tags, cycle, ...).
+		fmt.Fprintf(os.Stderr, "cellsim: %v\n", err)
+		os.Exit(1)
 	}
 	cycles := sys.Eng.Now()
 	fmt.Printf("\nscenario %s: %d SPEs, %dB elements, %d MB/SPE\n",
@@ -118,6 +142,12 @@ func main() {
 		}
 		fmt.Printf("SPE%d MFC: %d commands, %d packets, %d MB\n",
 			i, ms.Commands, ms.Packets, ms.Bytes>>20)
+	}
+
+	if inj := sys.Faults(); inj != nil {
+		fs := inj.Stats()
+		fmt.Printf("faults injected: %d (mfc-retry %d, xdr-stall %d, eib-slow %d, eib-outage %d, done-delay %d)\n",
+			fs.Total(), fs.MFCRetries, fs.XDRStalls, fs.EIBSlow, fs.EIBOutages, fs.DoneDelays)
 	}
 
 	if *dumpN > 0 {

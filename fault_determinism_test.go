@@ -1,0 +1,110 @@
+package cellbe
+
+// Fault injection must not cost the model its core property: determinism.
+// A faulty run is driven by one seeded splitmix64 stream consumed in
+// simulation-event order, so the same (scenario, layout seed, fault
+// config, fault seed) must reproduce byte-identical statistics — including
+// the injected-fault counters — on every run, on every platform. These
+// goldens pin that contract the same way determinism_test.go pins the
+// healthy scheduler.
+
+import (
+	"fmt"
+	"testing"
+
+	"cellbe/internal/cell"
+	"cellbe/internal/fault"
+)
+
+// canonicalFaults is the mixed fault configuration of the goldens:
+// every class enabled, at rates high enough to fire often but far from
+// wedging the scenarios.
+func canonicalFaults() fault.Config {
+	return fault.Config{
+		MFCRetryRate:  0.01,
+		XDRStallRate:  0.05,
+		EIBSlowRate:   0.02,
+		EIBOutageRate: 0.02,
+		DoneDelayRate: 0.02,
+	}
+}
+
+// faultySignature runs a scenario under injected faults and folds the end
+// time, EIB statistics and fault counters into a comparable string. The
+// run goes through RunChecked, so it also proves faulty runs pass the
+// watchdog and the byte-conservation teardown checks.
+func faultySignature(t *testing.T, sc cell.Scenario, seed, faultSeed int64) string {
+	t.Helper()
+	cfg := cell.DefaultConfig()
+	cfg.Layout = cell.RandomLayout(seed)
+	cfg.Faults = canonicalFaults()
+	cfg.FaultSeed = faultSeed
+	sys := cell.New(cfg)
+	if _, err := sc.Install(sys); err != nil {
+		t.Fatalf("install %s: %v", sc.Kind, err)
+	}
+	if err := sys.RunChecked(0); err != nil {
+		t.Fatalf("faulty %s run failed the watchdog: %v", sc.Kind, err)
+	}
+	st := sys.Bus.Stats()
+	fs := sys.Faults().Stats()
+	return fmt.Sprintf("now=%d transfers=%d bytes=%d cmds=%d wait=%d retries=%d stalls=%d slow=%d outages=%d late=%d",
+		sys.Eng.Now(), st.Transfers, st.Bytes, st.Commands, st.WaitCycles,
+		fs.MFCRetries, fs.XDRStalls, fs.EIBSlow, fs.EIBOutages, fs.DoneDelays)
+}
+
+func TestFaultInjectionDeterminism(t *testing.T) {
+	const volume = 1 << 20
+	cases := []struct {
+		name   string
+		sc     cell.Scenario
+		golden string
+	}{
+		{
+			name:   "pair",
+			sc:     cell.Scenario{Kind: "pair", SPEs: 2, Chunk: 4096, Volume: volume},
+			golden: "now=135181 transfers=16384 bytes=2097152 cmds=16384 wait=807180 retries=161 stalls=0 slow=310 outages=332 late=366",
+		},
+		{
+			name:   "couples",
+			sc:     cell.Scenario{Kind: "couples", SPEs: 8, Chunk: 4096, Volume: volume},
+			golden: "now=181409 transfers=65536 bytes=8388608 cmds=65536 wait=1793316 retries=673 stalls=0 slow=1277 outages=1274 late=1301",
+		},
+		{
+			name:   "cycle",
+			sc:     cell.Scenario{Kind: "cycle", SPEs: 8, Chunk: 4096, Volume: volume},
+			golden: "now=466242 transfers=131072 bytes=16777216 cmds=131072 wait=37972235 retries=1340 stalls=0 slow=2587 outages=2541 late=2570",
+		},
+		{
+			name:   "mem",
+			sc:     cell.Scenario{Kind: "mem", SPEs: 4, Chunk: 16384, Volume: volume, Op: "get"},
+			golden: "now=582690 transfers=32768 bytes=4194304 cmds=32768 wait=1521214 retries=340 stalls=1623 slow=644 outages=614 late=679",
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			got := faultySignature(t, tc.sc, 3, 7)
+			if got != tc.golden {
+				t.Errorf("faulty run diverged from golden\n got: %s\nwant: %s", got, tc.golden)
+			}
+		})
+	}
+}
+
+// TestFaultInjectionRepeatable guards the in-process property directly:
+// back-to-back faulty runs with the same seeds must agree, and a different
+// fault seed must actually change the outcome (the stream is live).
+func TestFaultInjectionRepeatable(t *testing.T) {
+	sc := cell.Scenario{Kind: "cycle", SPEs: 8, Chunk: 4096, Volume: 1 << 18}
+	a := faultySignature(t, sc, 7, 11)
+	b := faultySignature(t, sc, 7, 11)
+	if a != b {
+		t.Fatalf("back-to-back faulty runs diverged:\n%s\n%s", a, b)
+	}
+	c := faultySignature(t, sc, 7, 12)
+	if a == c {
+		t.Fatal("different fault seeds produced identical runs; injector seed is dead")
+	}
+}

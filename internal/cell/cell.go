@@ -17,6 +17,7 @@ import (
 	"math/rand"
 
 	"cellbe/internal/eib"
+	"cellbe/internal/fault"
 	"cellbe/internal/mfc"
 	"cellbe/internal/ppe"
 	"cellbe/internal/sim"
@@ -52,6 +53,17 @@ type Config struct {
 	// exclude this — it is a failure-injection knob for tests.
 	NoiseEvery  sim.Time
 	NoiseCycles sim.Time
+	// Faults enables deterministic fault injection across the model
+	// (MFC command-bus retries, XDR bank stalls, EIB ring slowdowns and
+	// outages, delayed completions). Zero value disables injection.
+	Faults fault.Config
+	// FaultSeed seeds the injector's random stream; the same (Faults,
+	// FaultSeed, Layout) triple perturbs a scenario identically on every
+	// run.
+	FaultSeed int64
+	// MaxCycles is the default watchdog cycle budget RunChecked enforces
+	// when its caller passes 0. Zero means unlimited.
+	MaxCycles sim.Time
 }
 
 // DefaultConfig returns the calibrated configuration of the paper's
@@ -94,6 +106,7 @@ type System struct {
 	allocNext int64
 	resv      *reservations
 	rem       *remoteChip
+	faults    *fault.Injector
 }
 
 // New builds a system from cfg.
@@ -127,14 +140,35 @@ func New(cfg Config) *System {
 	mem := xdr.New(eng, bus, memCfg)
 	s := &System{Eng: eng, Bus: bus, Mem: mem, cfg: cfg, resv: newReservations()}
 	s.cfg.Layout = layout
+	s.faults = fault.New(cfg.Faults, cfg.FaultSeed)
+	bus.SetFaults(s.faults)
+	mem.SetFaults(s.faults)
 
 	for logical := 0; logical < NumSPEs; logical++ {
 		ramp := eib.PhysicalSPERamp(layout[logical])
 		fab := &fabric{sys: s, ramp: ramp}
-		s.SPEs = append(s.SPEs, spe.New(eng, logical, ramp, fab, cfg.SPU, cfg.MFC))
+		sp := spe.New(eng, logical, ramp, fab, cfg.SPU, cfg.MFC)
+		sp.MFC().SetFaults(s.faults)
+		s.SPEs = append(s.SPEs, sp)
 	}
 	s.PPE = ppe.New(eng, &ppePort{sys: s}, cfg.PPE)
+	eng.OnDiagnostic(s.diagnose)
 	return s
+}
+
+// Faults returns the system's fault injector (nil when injection is
+// disabled).
+func (s *System) Faults() *fault.Injector { return s.faults }
+
+// diagnose contributes per-SPE MFC state to watchdog diagnostics.
+func (s *System) diagnose() []string {
+	var lines []string
+	for i, sp := range s.SPEs {
+		for _, d := range sp.MFC().Diagnose() {
+			lines = append(lines, fmt.Sprintf("SPE%d MFC: %s", i, d))
+		}
+	}
+	return lines
 }
 
 // Config returns the system configuration (with the resolved layout).
@@ -145,6 +179,44 @@ func (s *System) Layout() []int { return append([]int(nil), s.cfg.Layout...) }
 
 // Run drives the simulation until no events remain.
 func (s *System) Run() { s.Eng.Run() }
+
+// RunChecked drives the simulation under the watchdog: it enforces the
+// max-cycle budget (0 = unlimited), detects deadlocks when the event
+// queue drains with SPU/PPU processes still blocked, converts process
+// panics into errors, and verifies the data-conservation invariants at
+// teardown. On failure the returned error is a *sim.DeadlockError, a
+// *sim.ProcessPanic, or a conservation error.
+func (s *System) RunChecked(maxCycles sim.Time) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			pp, ok := r.(*sim.ProcessPanic)
+			if !ok {
+				panic(r)
+			}
+			err = pp
+		}
+	}()
+	if maxCycles == 0 {
+		maxCycles = s.cfg.MaxCycles
+	}
+	if err := s.Eng.RunChecked(maxCycles); err != nil {
+		return err
+	}
+	return s.Verify()
+}
+
+// Verify checks scenario-teardown invariants: every MFC must have
+// delivered exactly the bytes requested of it, per tag group, with
+// nothing left in flight. Fault injection delays data but never loses
+// it, so faulty runs must pass too.
+func (s *System) Verify() error {
+	for i, sp := range s.SPEs {
+		if err := sp.MFC().CheckConservation(); err != nil {
+			return fmt.Errorf("cell: SPE%d: %w", i, err)
+		}
+	}
+	return nil
+}
 
 // GBps converts bytes moved in cycles into GB/s at the system clock.
 func (s *System) GBps(bytes int64, cycles sim.Time) float64 {
@@ -168,16 +240,34 @@ func (s *System) LSEA(logical, off int) int64 {
 
 // Alloc reserves size bytes of main memory aligned to align and returns
 // its effective address. It is a bump allocator for experiment buffers.
+// It panics when the simulated address space is exhausted; callers
+// handling user-sized requests should use TryAlloc.
 func (s *System) Alloc(size int64, align int64) int64 {
+	addr, err := s.TryAlloc(size, align)
+	if err != nil {
+		panic(err.Error())
+	}
+	return addr
+}
+
+// TryAlloc is Alloc returning an error instead of panicking when the
+// request does not fit the simulated address space — the path for
+// user-controlled sizes (CLI -volume), which must fail with a clean
+// message.
+func (s *System) TryAlloc(size int64, align int64) (int64, error) {
+	if size <= 0 {
+		return 0, fmt.Errorf("cell: allocation of %d bytes", size)
+	}
 	if align <= 0 {
 		align = 128
 	}
 	addr := (s.allocNext + align - 1) / align * align
 	if addr+size > s.cfg.Mem.TotalBytes {
-		panic("cell: out of simulated memory")
+		return 0, fmt.Errorf("cell: out of simulated memory (%d MB requested beyond the %d MB address space)",
+			size>>20, s.cfg.Mem.TotalBytes>>20)
 	}
 	s.allocNext = addr + size
-	return addr
+	return addr, nil
 }
 
 // resolveLS maps an effective address to (logical SPE, LS offset) when it

@@ -16,7 +16,9 @@ type Scenario struct {
 	// Kind selects the traffic pattern: "pair" (SPE0 pulls from and
 	// pushes to SPE1), "couples" (disjoint pairs), "cycle" (SPE i
 	// exchanges with SPE i+1 mod N, the paper's worst case) or "mem"
-	// (every SPE streams against main memory).
+	// (every SPE streams against main memory). The extra kind "wedge" is
+	// a deliberately deadlocked scenario (every SPE blocks on a mailbox
+	// nobody writes) for exercising the simulation watchdog.
 	Kind string
 	// SPEs is the number of SPEs involved (couples/cycle/mem; pair
 	// always uses SPE0 and SPE1).
@@ -58,8 +60,15 @@ func pairSlots(chunk int) int {
 func (sc Scenario) Validate() error {
 	switch sc.Kind {
 	case "pair", "couples", "cycle", "mem":
+	case "wedge":
+		// The watchdog-test scenario moves no data; only the SPE count
+		// matters.
+		if sc.SPEs < 1 || sc.SPEs > NumSPEs {
+			return fmt.Errorf("cell: %d SPEs out of range 1..%d", sc.SPEs, NumSPEs)
+		}
+		return nil
 	default:
-		return fmt.Errorf("cell: unknown scenario %q (want pair, couples, cycle or mem)", sc.Kind)
+		return fmt.Errorf("cell: unknown scenario %q (want pair, couples, cycle, mem or wedge)", sc.Kind)
 	}
 	if sc.Chunk < 16 || sc.Chunk%16 != 0 {
 		return fmt.Errorf("cell: chunk %d must be a multiple of 16 bytes", sc.Chunk)
@@ -134,9 +143,18 @@ func (sc Scenario) Install(sys *System) (int64, error) {
 		for i := 0; i < sc.SPEs; i++ {
 			pairKernel(i, (i+1)%sc.SPEs)
 		}
+	case "wedge":
+		for i := 0; i < sc.SPEs; i++ {
+			spawn(i, 0, func(ctx *spe.Context) {
+				ctx.ReadMailbox() // nobody ever writes: deadlocks on purpose
+			})
+		}
 	case "mem":
 		for i := 0; i < sc.SPEs; i++ {
-			base := sys.Alloc(sc.Volume, 1<<16)
+			base, err := sys.TryAlloc(sc.Volume, 1<<16)
+			if err != nil {
+				return 0, err
+			}
 			spawn(i, sc.Volume, func(ctx *spe.Context) {
 				for off := int64(0); off < sc.Volume; off += int64(sc.Chunk) {
 					ls := int(off) % (128 << 10)

@@ -93,6 +93,11 @@ func (p Params) validate() error {
 func (p Params) newSystem(run int) *cell.System {
 	cfg := p.config()
 	cfg.Layout = cell.RandomLayout(p.FirstSeed + int64(run))
+	if cfg.Faults.Enabled() && cfg.FaultSeed == 0 {
+		// Tie the fault stream to the run so repeated runs sample fault
+		// patterns alongside layouts, deterministically.
+		cfg.FaultSeed = p.FirstSeed + int64(run)
+	}
 	return cell.New(cfg)
 }
 

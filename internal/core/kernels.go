@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"cellbe/internal/cell"
 	"cellbe/internal/mfc"
 	"cellbe/internal/sim"
@@ -198,11 +200,19 @@ func (a *aggregate) spawn(idx int, name string, bytes int64, kernel func(ctx *sp
 	})
 }
 
-// run drives the simulation and returns the aggregate bandwidth in GB/s.
+// run drives the simulation under the watchdog and returns the aggregate
+// bandwidth in GB/s. A deadlocked or conservation-violating experiment
+// panics with the structured diagnostic (*sim.DeadlockError or a
+// conservation error) instead of a bare string; RunSweep and experiment
+// drivers recover it into a per-run error.
 func (a *aggregate) run() float64 {
-	a.sys.Run()
+	if err := a.sys.RunChecked(0); err != nil {
+		panic(err)
+	}
 	if a.pending != 0 {
-		panic("core: kernels did not complete (deadlock in experiment)")
+		// Unreachable when the watchdog is sound: kernels that did not
+		// complete leave their processes blocked, which RunChecked reports.
+		panic(fmt.Sprintf("core: %d kernels did not complete yet no process is blocked", a.pending))
 	}
 	return a.sys.GBps(a.totalBytes, a.lastEnd)
 }

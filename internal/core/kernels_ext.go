@@ -119,9 +119,13 @@ func runKernel(p Params, run int, k Kernel, n int) float64 {
 			pending--
 		})
 	}
-	sys.Run()
+	// The watchdog turns a wedged kernel into a structured diagnostic
+	// (stuck process names, outstanding MFC tags) instead of a bare panic.
+	if err := sys.RunChecked(0); err != nil {
+		panic(err)
+	}
 	if pending != 0 {
-		panic("core: kernel deadlock")
+		panic(fmt.Sprintf("core: %d kernels did not complete yet no process is blocked", pending))
 	}
 	cfg := sys.Config()
 	return float64(totalFlops) * cfg.ClockGHz / float64(lastEnd)

@@ -115,6 +115,11 @@ var registry = map[string]Experiment{
 		Description: "Task runtime: dependent chain under through-memory vs LS-forwarding policies",
 		Run:         TaskChain,
 	},
+	"fault-sweep": {
+		Name: "fault-sweep", Figure: "extension (robustness)",
+		Description: "Bandwidth vs injected fault rate for pair/couples/cycle/mem scenarios",
+		Run:         FaultSweep,
+	},
 	"dma-latency": {
 		Name: "dma-latency", Figure: "extension (after Kistler et al.)",
 		Description: "Synchronous DMA round-trip latency by size, LS-to-LS and memory",

@@ -34,8 +34,12 @@ type SweepSpec struct {
 	// GOMAXPROCS.
 	Workers int
 	// Base overrides the machine configuration; nil means
-	// cell.DefaultConfig.
+	// cell.DefaultConfig. Fault injection sweeps set Base.Faults (the
+	// per-point layout seed also seeds the injector unless Base.FaultSeed
+	// is set).
 	Base *cell.Config
+	// MaxCycles is the watchdog budget per grid point (0 = unlimited).
+	MaxCycles sim.Time
 }
 
 // SweepResult is the outcome of one (chunk, seed) grid point.
@@ -47,6 +51,10 @@ type SweepResult struct {
 	Transfers  int64
 	WaitCycles sim.Time
 	Commands   int64
+	// Err records why this grid point failed (deadlock diagnostic,
+	// recovered panic, ...); the rest of the sweep still runs. Numeric
+	// fields are zero when Err is set.
+	Err error
 }
 
 // validate rejects impossible grids before any goroutine spawns.
@@ -102,60 +110,66 @@ func RunSweep(spec SweepSpec) ([]SweepResult, error) {
 		workers = len(grid)
 	}
 
-	runPoint := func(pt point) (SweepResult, error) {
+	// runPoint simulates one grid point. Any failure — an install error, a
+	// watchdog deadlock, or a panic anywhere inside the simulation — is
+	// contained to this point's Err so one bad point cannot kill the
+	// sweep (or, worse, a worker goroutine and with it the whole
+	// process).
+	runPoint := func(pt point) (res SweepResult) {
+		res = SweepResult{Chunk: pt.chunk, Seed: pt.seed}
+		defer func() {
+			if r := recover(); r != nil {
+				if err, ok := r.(error); ok {
+					res.Err = fmt.Errorf("core: grid point chunk=%d seed=%d panicked: %w", pt.chunk, pt.seed, err)
+				} else {
+					res.Err = fmt.Errorf("core: grid point chunk=%d seed=%d panicked: %v", pt.chunk, pt.seed, r)
+				}
+			}
+		}()
 		cfg := cell.DefaultConfig()
 		if spec.Base != nil {
 			cfg = *spec.Base
 		}
 		cfg.Layout = cell.RandomLayout(pt.seed)
+		if cfg.Faults.Enabled() && cfg.FaultSeed == 0 {
+			// Tie the fault stream to the grid point so seeds sweep fault
+			// patterns alongside layouts, deterministically.
+			cfg.FaultSeed = pt.seed
+		}
 		sys := cell.New(cfg)
 		total, err := spec.scenario(pt.chunk).Install(sys)
 		if err != nil {
-			return SweepResult{}, err
+			res.Err = err
+			return res
 		}
-		sys.Run()
+		if err := sys.RunChecked(spec.MaxCycles); err != nil {
+			res.Err = err
+			return res
+		}
 		st := sys.Bus.Stats()
-		return SweepResult{
-			Chunk:      pt.chunk,
-			Seed:       pt.seed,
-			Cycles:     sys.Eng.Now(),
-			GBps:       sys.GBps(total, sys.Eng.Now()),
-			Transfers:  st.Transfers,
-			WaitCycles: st.WaitCycles,
-			Commands:   st.Commands,
-		}, nil
+		res.Cycles = sys.Eng.Now()
+		res.GBps = sys.GBps(total, sys.Eng.Now())
+		res.Transfers = st.Transfers
+		res.WaitCycles = st.WaitCycles
+		res.Commands = st.Commands
+		return res
 	}
 
 	if workers <= 1 {
 		for i, pt := range grid {
-			r, err := runPoint(pt)
-			if err != nil {
-				return nil, err
-			}
-			out[i] = r
+			out[i] = runPoint(pt)
 		}
 	} else {
 		var (
-			wg       sync.WaitGroup
-			next     = make(chan int)
-			errMu    sync.Mutex
-			firstErr error
+			wg   sync.WaitGroup
+			next = make(chan int)
 		)
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				for i := range next {
-					r, err := runPoint(grid[i])
-					if err != nil {
-						errMu.Lock()
-						if firstErr == nil {
-							firstErr = err
-						}
-						errMu.Unlock()
-						continue
-					}
-					out[i] = r
+					out[i] = runPoint(grid[i])
 				}
 			}()
 		}
@@ -164,9 +178,6 @@ func RunSweep(spec SweepSpec) ([]SweepResult, error) {
 		}
 		close(next)
 		wg.Wait()
-		if firstErr != nil {
-			return nil, firstErr
-		}
 	}
 
 	sort.Slice(out, func(i, j int) bool {

@@ -1,6 +1,13 @@
 package core
 
-import "testing"
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"cellbe/internal/cell"
+	"cellbe/internal/sim"
+)
 
 func sweepSpec(workers int) SweepSpec {
 	return SweepSpec{
@@ -57,6 +64,73 @@ func TestSweepResultsOrdered(t *testing.T) {
 	for _, r := range results {
 		if r.Cycles <= 0 || r.GBps <= 0 || r.Transfers <= 0 {
 			t.Errorf("degenerate sweep point: %+v", r)
+		}
+	}
+}
+
+// TestSweepRecoversDeadlockedPoints sweeps the deliberately wedged
+// scenario: every grid point deadlocks, each must carry a structured
+// per-point error, and the sweep as a whole must still return all points
+// instead of aborting (or killing a worker goroutine) on the first one.
+func TestSweepRecoversDeadlockedPoints(t *testing.T) {
+	spec := SweepSpec{
+		Scenario: "wedge",
+		SPEs:     2,
+		Chunks:   []int{4096},
+		Seeds:    []int64{0, 1, 2, 3},
+		Volume:   1 << 20,
+		Workers:  2,
+	}
+	results, err := RunSweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("got %d results, want all 4 despite failures", len(results))
+	}
+	for _, r := range results {
+		var de *sim.DeadlockError
+		if !errors.As(r.Err, &de) {
+			t.Errorf("point seed=%d: Err = %v, want *sim.DeadlockError", r.Seed, r.Err)
+		}
+	}
+}
+
+// TestSweepRecoversPanickedPoints makes every point's system assembly
+// panic (LS aperture overlapping RAM) and checks the panic is contained
+// to the point's Err rather than crashing the process.
+func TestSweepRecoversPanickedPoints(t *testing.T) {
+	base := cell.DefaultConfig()
+	base.LSBase = 0 // overlaps RAM: cell.New panics
+	spec := sweepSpec(2)
+	spec.Base = &base
+	results, err := RunSweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 6 {
+		t.Fatalf("got %d results, want all 6", len(results))
+	}
+	for _, r := range results {
+		if r.Err == nil || !strings.Contains(r.Err.Error(), "panicked") {
+			t.Errorf("point chunk=%d seed=%d: Err = %v, want recovered panic", r.Chunk, r.Seed, r.Err)
+		}
+	}
+}
+
+// TestSweepMaxCyclesBudget: an undersized cycle budget turns every point
+// into a budget-exceeded diagnostic, still without aborting the sweep.
+func TestSweepMaxCyclesBudget(t *testing.T) {
+	spec := sweepSpec(1)
+	spec.MaxCycles = 100
+	results, err := RunSweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		var de *sim.DeadlockError
+		if !errors.As(r.Err, &de) {
+			t.Errorf("point chunk=%d seed=%d: Err = %v, want budget diagnostic", r.Chunk, r.Seed, r.Err)
 		}
 	}
 }

@@ -19,6 +19,7 @@ package eib
 import (
 	"fmt"
 
+	"cellbe/internal/fault"
 	"cellbe/internal/sim"
 )
 
@@ -181,10 +182,15 @@ type EIB struct {
 	// cmdNextTenths is the command bus pacing cursor in tenths of a
 	// cycle (fixed point, so fractional intervals pace exactly).
 	cmdNextTenths int64
+	faults        *fault.Injector
 	stats         Stats
 	trace         []TransferRecord
 	traceNext     int
 }
+
+// SetFaults attaches a fault injector (nil disables injection). Wired by
+// the cell package at system assembly.
+func (e *EIB) SetFaults(inj *fault.Injector) { e.faults = inj }
 
 // Trace returns the retained transfer records, oldest first. Empty unless
 // Config.TraceCapacity is set.
@@ -338,6 +344,17 @@ func (e *EIB) Transfer(src, dst RampID, bytes int, earliest sim.Time, done func(
 	e.in[dst].prune(now)
 	flow := int32(src)<<8 | int32(dst)
 
+	// Injected ring-arbitration faults: a slowdown delays this transfer's
+	// earliest grant; an outage takes one ring out of arbitration for this
+	// transfer. With several rings per direction, skipping one always
+	// leaves an eligible ring; with a single ring per direction an outage
+	// could strand the transfer, so it is disabled there.
+	earliest += e.faults.EIBSlow()
+	outage := -1
+	if e.cfg.RingsPerDirection > 1 {
+		outage = e.faults.EIBOutage(len(e.rings))
+	}
+
 	// Candidate rings: those whose direction reaches dst in <= 6 hops.
 	// For each, find the earliest instant at which the source port, the
 	// destination port and every path segment are simultaneously free
@@ -347,6 +364,9 @@ func (e *EIB) Transfer(src, dst RampID, bytes int, earliest sim.Time, done func(
 	var bestSegs []int
 	for ri := range e.rings {
 		r := &e.rings[ri]
+		if ri == outage {
+			continue
+		}
 		hops := Hops(src, dst, r.dir)
 		if hops > NumRamps/2 {
 			continue

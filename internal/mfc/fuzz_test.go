@@ -1,0 +1,95 @@
+package mfc
+
+import (
+	"errors"
+	"testing"
+
+	"cellbe/internal/sim"
+)
+
+// newValidateMFC builds an MFC whose validate method can be exercised
+// without a fabric (validation never touches it).
+func newValidateMFC() *MFC {
+	return New(sim.NewEngine(), nil, make([]byte, 256<<10), DefaultConfig())
+}
+
+// TestValidateTypedErrors pins the graceful-degradation contract for
+// user-reachable command validation: every malformed command yields an
+// error wrapping ErrBadCommand — never a panic, never an untyped error.
+func TestValidateTypedErrors(t *testing.T) {
+	m := newValidateMFC()
+	cases := []struct {
+		name string
+		cmd  Cmd
+	}{
+		{"bad tag", Cmd{Kind: Get, Tag: NumTags, Size: 128}},
+		{"negative tag", Cmd{Kind: Get, Tag: -1, Size: 128}},
+		{"oversize", Cmd{Kind: Get, Size: MaxTransfer + 16}},
+		{"zero size", Cmd{Kind: Get, Size: 0}},
+		{"size 3", Cmd{Kind: Get, Size: 3}},
+		{"size 24", Cmd{Kind: Get, Size: 24}},
+		{"unaligned ea", Cmd{Kind: Get, Size: 128, EA: 8}},
+		{"unaligned ls", Cmd{Kind: Get, Size: 128, LSAddr: 4}},
+		{"small unaligned", Cmd{Kind: Get, Size: 4, EA: 2}},
+		{"ls overflow", Cmd{Kind: Get, Size: 128, LSAddr: 256<<10 - 64}},
+		{"negative ls", Cmd{Kind: Get, Size: 128, LSAddr: -128}},
+		{"fence and barrier", Cmd{Kind: Get, Size: 128, Fence: true, Barrier: true}},
+		{"empty list", Cmd{Kind: GetList}},
+		{"long list", Cmd{Kind: PutList, List: make([]ListElem, MaxListElements+1)}},
+		{"bad list elem", Cmd{Kind: GetList, List: []ListElem{{EA: 0, Size: 3}}}},
+	}
+	for _, tc := range cases {
+		err := m.validate(&tc.cmd)
+		if err == nil {
+			t.Errorf("%s: expected an error", tc.name)
+			continue
+		}
+		if !errors.Is(err, ErrBadCommand) {
+			t.Errorf("%s: error %v does not wrap ErrBadCommand", tc.name, err)
+		}
+	}
+	good := Cmd{Kind: Get, Tag: 3, Size: 16384, EA: 1 << 20}
+	if err := m.validate(&good); err != nil {
+		t.Errorf("valid command rejected: %v", err)
+	}
+}
+
+// FuzzMFCValidate throws arbitrary command shapes (size, alignment, tag,
+// list length) at the validator and asserts the robustness contract: it
+// must return nil or a typed ErrBadCommand error — and must not panic.
+// The fuzzer catches panics itself; the assertions pin the error type.
+func FuzzMFCValidate(f *testing.F) {
+	f.Add(uint8(0), 0, 0, int64(0), 16384, uint16(0), 0, false, false)         // valid get
+	f.Add(uint8(1), 31, 128, int64(1<<20), 128, uint16(0), 0, true, false)     // valid fenced put
+	f.Add(uint8(2), 0, 0, int64(0), 0, uint16(8), 1024, false, false)          // valid list
+	f.Add(uint8(0), 32, 0, int64(0), 128, uint16(0), 0, false, false)          // bad tag
+	f.Add(uint8(0), 0, 0, int64(0), MaxTransfer+16, uint16(0), 0, false, false) // oversize
+	f.Add(uint8(0), 0, 4, int64(2), 3, uint16(0), 0, false, false)             // misaligned
+	f.Add(uint8(3), 0, 0, int64(0), 0, uint16(4096), 16, false, false)         // list too long
+	f.Add(uint8(0), 0, 0, int64(0), 128, uint16(0), 0, true, true)             // fence+barrier
+	f.Add(uint8(0), 0, -1 << 20, int64(-64), 128, uint16(0), 0, false, false)  // negative addrs
+
+	m := newValidateMFC()
+	f.Fuzz(func(t *testing.T, kindRaw uint8, tag, lsaddr int, ea int64, size int, listLen uint16, elemSize int, fence, barrier bool) {
+		kind := Kind(kindRaw % 4)
+		cmd := Cmd{
+			Kind:    kind,
+			Tag:     tag,
+			LSAddr:  lsaddr,
+			EA:      ea,
+			Size:    size,
+			Fence:   fence,
+			Barrier: barrier,
+		}
+		if kind.IsList() {
+			n := int(listLen % (MaxListElements + 16)) // cover the over-limit band
+			cmd.List = make([]ListElem, n)
+			for i := range cmd.List {
+				cmd.List[i] = ListElem{EA: ea + int64(i*elemSize), Size: elemSize}
+			}
+		}
+		if err := m.validate(&cmd); err != nil && !errors.Is(err, ErrBadCommand) {
+			t.Fatalf("validate(%+v) = %v: not a typed ErrBadCommand", cmd, err)
+		}
+	})
+}

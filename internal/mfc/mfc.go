@@ -24,7 +24,9 @@ package mfc
 import (
 	"errors"
 	"fmt"
+	"strings"
 
+	"cellbe/internal/fault"
 	"cellbe/internal/sim"
 )
 
@@ -183,6 +185,7 @@ type MFC struct {
 	fabric Fabric
 	ls     []byte
 	cfg    Config
+	faults *fault.Injector
 
 	seq         int64
 	spuQueue    int // occupied SPU queue slots
@@ -191,9 +194,14 @@ type MFC struct {
 	outstanding int
 	nextIssue   sim.Time
 
-	tagCount   [NumTags]int
-	tagWaiters []*tagWaiter
-	spaceSubs  []func()
+	tagCount [NumTags]int
+	// tagRequested/tagDelivered account payload bytes per tag group: a
+	// command's bytes are requested at enqueue and delivered when its last
+	// packet completes. The two must match at teardown (CheckConservation).
+	tagRequested [NumTags]int64
+	tagDelivered [NumTags]int64
+	tagWaiters   []*tagWaiter
+	spaceSubs    []func()
 
 	stats Stats
 }
@@ -212,6 +220,10 @@ func New(eng *sim.Engine, fabric Fabric, ls []byte, cfg Config) *MFC {
 	}
 	return &MFC{eng: eng, fabric: fabric, ls: ls, cfg: cfg}
 }
+
+// SetFaults attaches a fault injector (nil disables injection). Wired by
+// the cell package at system assembly.
+func (m *MFC) SetFaults(inj *fault.Injector) { m.faults = inj }
 
 // Stats returns a snapshot of the activity counters.
 func (m *MFC) Stats() Stats { return m.stats }
@@ -313,9 +325,22 @@ func (m *MFC) enqueue(c Cmd, done func(), proxy bool) error {
 	st.onPacket = m.packetDone(st)
 	m.active = append(m.active, st)
 	m.tagCount[c.Tag]++
+	m.tagRequested[c.Tag] += payloadBytes(&c)
 	m.stats.Commands++
 	m.pump()
 	return nil
+}
+
+// payloadBytes returns the bytes a command moves when it completes.
+func payloadBytes(c *Cmd) int64 {
+	if !c.Kind.IsList() {
+		return int64(c.Size)
+	}
+	var total int64
+	for _, el := range c.List {
+		total += int64(el.Size)
+	}
+	return total
 }
 
 // OnSpace registers fn to run once, the next time a queue slot frees.
@@ -443,6 +468,10 @@ func (m *MFC) pump() {
 		if m.nextIssue > t {
 			t = m.nextIssue
 		}
+		// Injected command-bus token denial: the packet's issue slides by
+		// the retry backoff, pushing later packets with it (the DMA
+		// controller re-requests the token in order).
+		t += m.faults.MFCRetry()
 		if !st.started {
 			st.started = true
 			t += m.cfg.SetupCycles
@@ -496,13 +525,25 @@ func (m *MFC) pickCommand() *cmdState {
 }
 
 func (m *MFC) packetDone(st *cmdState) func(end sim.Time) {
-	return func(end sim.Time) {
+	retire := func(end sim.Time) {
 		st.inflight--
 		m.outstanding--
 		if st.issuedAll && st.inflight == 0 {
 			m.complete(st)
 		}
 		m.pump()
+	}
+	if m.faults == nil {
+		return retire
+	}
+	return func(end sim.Time) {
+		// Injected late completion: the acknowledgement exists but the
+		// MFC observes it a bounded number of cycles later.
+		if d := m.faults.DoneDelay(); d > 0 {
+			m.eng.AtCall(m.eng.Now()+d, retire, end)
+			return
+		}
+		retire(end)
 	}
 }
 
@@ -519,6 +560,7 @@ func (m *MFC) complete(st *cmdState) {
 		m.spuQueue--
 	}
 	m.tagCount[st.cmd.Tag]--
+	m.tagDelivered[st.cmd.Tag] += payloadBytes(&st.cmd)
 	m.checkTagWaiters()
 	if st.done != nil {
 		m.eng.Schedule(0, st.done)
@@ -530,4 +572,60 @@ func (m *MFC) complete(st *cmdState) {
 			m.eng.Schedule(0, fn)
 		}
 	}
+}
+
+// ConservationError reports a violated data-conservation invariant at
+// scenario teardown: bytes requested must equal bytes delivered in every
+// tag group, with no commands or packets left in flight.
+type ConservationError struct {
+	Problems []string
+}
+
+func (e *ConservationError) Error() string {
+	return "mfc: conservation violated: " + strings.Join(e.Problems, "; ")
+}
+
+// CheckConservation verifies the teardown invariants: every enqueued
+// command completed, no bus packets are outstanding, and each tag group
+// delivered exactly the bytes requested of it. Faulty runs must pass this
+// too — fault injection delays data, it never loses it.
+func (m *MFC) CheckConservation() error {
+	var problems []string
+	if n := len(m.active); n > 0 {
+		problems = append(problems, fmt.Sprintf("%d commands still active", n))
+	}
+	if m.outstanding > 0 {
+		problems = append(problems, fmt.Sprintf("%d bus packets in flight", m.outstanding))
+	}
+	for t := 0; t < NumTags; t++ {
+		if m.tagRequested[t] != m.tagDelivered[t] {
+			problems = append(problems, fmt.Sprintf(
+				"tag %d: requested %d bytes, delivered %d", t, m.tagRequested[t], m.tagDelivered[t]))
+		}
+	}
+	if len(problems) > 0 {
+		return &ConservationError{Problems: problems}
+	}
+	return nil
+}
+
+// Diagnose describes in-flight MFC state for watchdog diagnostics; it
+// returns nil when the MFC is idle.
+func (m *MFC) Diagnose() []string {
+	if len(m.active) == 0 && m.outstanding == 0 && len(m.tagWaiters) == 0 {
+		return nil
+	}
+	var busyTags []string
+	for t := 0; t < NumTags; t++ {
+		if m.tagCount[t] > 0 {
+			busyTags = append(busyTags, fmt.Sprintf("%d(%d cmds, %d/%d bytes)",
+				t, m.tagCount[t], m.tagDelivered[t], m.tagRequested[t]))
+		}
+	}
+	line := fmt.Sprintf("%d active commands, %d packets in flight, %d tag waiters",
+		len(m.active), m.outstanding, len(m.tagWaiters))
+	if len(busyTags) > 0 {
+		line += ", outstanding tags: " + strings.Join(busyTags, " ")
+	}
+	return []string{line}
 }

@@ -47,6 +47,11 @@ type Engine struct {
 	seq    int64
 	events []event
 	nfired int64
+
+	// Watchdog state (see watchdog.go): every spawned process, and the
+	// component diagnostic hooks consulted when building a DeadlockError.
+	procs []*Process
+	diags []func() []string
 }
 
 // NewEngine returns an engine with time set to zero and no pending events.

@@ -1,7 +1,5 @@
 package sim
 
-import "fmt"
-
 // Process is a coroutine driven by the simulation engine. It lets model
 // code (an SPU program, a PPU thread) be written as straight-line Go that
 // blocks on simulated time or on simulated events, while the engine runs
@@ -40,6 +38,7 @@ func Spawn(eng *Engine, name string, fn func(p *Process)) *Process {
 		}()
 		fn(p)
 	}()
+	eng.procs = append(eng.procs, p)
 	eng.Schedule(0, p.activate)
 	return p
 }
@@ -53,7 +52,9 @@ func (p *Process) activate() {
 	p.resume <- struct{}{}
 	<-p.yield
 	if p.done && p.err != nil {
-		panic(fmt.Sprintf("sim: process %q panicked: %v", p.name, p.err))
+		// Re-raise as a typed value so simulation drivers can recover it
+		// and surface the underlying error cleanly (see ProcessPanic).
+		panic(&ProcessPanic{Name: p.name, Value: p.err})
 	}
 }
 

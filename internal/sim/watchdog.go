@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DeadlockError is the simulation watchdog's structured diagnostic. It
+// replaces context-free "deadlock" panics with everything needed to see
+// *what* wedged: the cycle the simulation reached, which processes are
+// still blocked, how many events remain scheduled, and whatever detail
+// lines the model components registered via Engine.OnDiagnostic (MFC tag
+// groups, queue occupancy, ...).
+type DeadlockError struct {
+	// Reason distinguishes a drained-queue deadlock from an exceeded
+	// cycle budget.
+	Reason string
+	// Cycle is the simulated time the watchdog fired at.
+	Cycle Time
+	// Pending is the number of events still scheduled (0 for a true
+	// deadlock; positive when the cycle budget ran out mid-flight).
+	Pending int
+	// Fired is the number of events executed before the watchdog fired.
+	Fired int64
+	// Stuck names the processes that have not finished, in spawn order.
+	Stuck []string
+	// Detail carries component diagnostics (one line each).
+	Detail []string
+}
+
+func (e *DeadlockError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sim: %s at cycle %d (%d events fired, %d pending)",
+		e.Reason, e.Cycle, e.Fired, e.Pending)
+	if len(e.Stuck) > 0 {
+		fmt.Fprintf(&b, "\n  stuck processes: %s", strings.Join(e.Stuck, ", "))
+	}
+	for _, d := range e.Detail {
+		fmt.Fprintf(&b, "\n  %s", d)
+	}
+	return b.String()
+}
+
+// ProcessPanic is the typed panic value the engine re-raises when a
+// process body panics: callers that drive the simulation (cell.System,
+// the CLIs) recover it and surface the underlying value — often a typed
+// model error such as an invalid DMA command — as a clean error instead
+// of a bare stack trace.
+type ProcessPanic struct {
+	// Name is the process whose body panicked.
+	Name string
+	// Value is the original panic value.
+	Value interface{}
+}
+
+func (p *ProcessPanic) Error() string {
+	return fmt.Sprintf("sim: process %q panicked: %v", p.Name, p.Value)
+}
+
+// Unwrap exposes a wrapped error panic value to errors.Is/As.
+func (p *ProcessPanic) Unwrap() error {
+	if err, ok := p.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// OnDiagnostic registers fn to contribute detail lines to watchdog
+// diagnostics. Components register once at wiring time; fn runs only when
+// a DeadlockError is being built.
+func (e *Engine) OnDiagnostic(fn func() []string) {
+	e.diags = append(e.diags, fn)
+}
+
+// StuckProcesses returns the names of spawned processes whose bodies have
+// not returned, in spawn order.
+func (e *Engine) StuckProcesses() []string {
+	var stuck []string
+	for _, p := range e.procs {
+		if !p.done {
+			stuck = append(stuck, p.name)
+		}
+	}
+	return stuck
+}
+
+// deadlock builds the structured diagnostic for the current engine state.
+func (e *Engine) deadlock(reason string) *DeadlockError {
+	err := &DeadlockError{
+		Reason:  reason,
+		Cycle:   e.now,
+		Pending: len(e.events),
+		Fired:   e.nfired,
+		Stuck:   e.StuckProcesses(),
+	}
+	for _, fn := range e.diags {
+		err.Detail = append(err.Detail, fn()...)
+	}
+	return err
+}
+
+// RunChecked fires events until the queue is empty, enforcing the
+// watchdog: if maxCycles is positive and simulated time passes it, or if
+// the queue drains while spawned processes are still blocked (a
+// deadlock), it returns a *DeadlockError describing the wedged state.
+func (e *Engine) RunChecked(maxCycles Time) error {
+	for len(e.events) > 0 {
+		if maxCycles > 0 && e.events[0].at > maxCycles {
+			return e.deadlock(fmt.Sprintf("cycle budget %d exceeded", maxCycles))
+		}
+		e.Step()
+	}
+	if len(e.StuckProcesses()) > 0 {
+		return e.deadlock("deadlock: event queue drained with processes still blocked")
+	}
+	return nil
+}

@@ -148,6 +148,20 @@ func (c *Context) issueCost() {
 	c.Wait(sim.Time(c.spe.cfg.DMAIssueChannels) * c.spe.cfg.ChannelCycles)
 }
 
+// CommandError is the typed panic value raised when an SPU program
+// enqueues an invalid DMA command (bad size, alignment, tag or list).
+// The engine wraps it in a *sim.ProcessPanic, which simulation drivers
+// (cell.System.RunChecked, the CLIs) recover into a clean error message.
+type CommandError struct {
+	SPE int
+	Err error
+}
+
+func (e *CommandError) Error() string { return fmt.Sprintf("spe%d: %v", e.SPE, e.Err) }
+
+// Unwrap exposes the underlying mfc error to errors.Is/As.
+func (e *CommandError) Unwrap() error { return e.Err }
+
 // enqueue blocks until the MFC accepts the command (the channel write
 // stalls while the command queue is full), then returns; completion is
 // tracked by the command's tag group.
@@ -159,7 +173,7 @@ func (c *Context) enqueue(cmd mfc.Cmd) {
 			return
 		}
 		if err != mfc.ErrQueueFull {
-			panic(fmt.Sprintf("spe%d: %v", c.spe.index, err))
+			panic(&CommandError{SPE: c.spe.index, Err: err})
 		}
 		c.WaitFunc(c.spe.dma.OnSpace)
 	}

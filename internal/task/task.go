@@ -280,9 +280,16 @@ func (r *Runtime) Run() Stats {
 		st.Cycles = p.Now()
 	})
 
-	r.sys.Run()
+	// Run under the watchdog: a dependency cycle leaves the dispatcher
+	// (and idle workers) blocked on mailboxes forever, which surfaces as a
+	// *sim.DeadlockError naming the stuck processes instead of a bare
+	// string panic with no context.
+	if err := r.sys.RunChecked(0); err != nil {
+		panic(fmt.Errorf("task: runtime wedged with %d/%d tasks done (dependency cycle?): %w",
+			done, len(r.tasks), err))
+	}
 	if done != len(r.tasks) {
-		panic("task: runtime deadlock (dependency cycle?)")
+		panic(fmt.Sprintf("task: %d/%d tasks done yet no process is blocked", done, len(r.tasks)))
 	}
 	return st
 }

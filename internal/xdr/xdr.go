@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"cellbe/internal/eib"
+	"cellbe/internal/fault"
 	"cellbe/internal/sim"
 )
 
@@ -108,6 +109,7 @@ type bank struct {
 	srv         *sim.Server
 	lastOp      opKind
 	cfg         *Config
+	faults      *fault.Injector
 	service     sim.Time
 	nextRefresh sim.Time
 	nextNoise   sim.Time
@@ -121,6 +123,9 @@ type BankStats struct {
 	WriteBytes int64
 	Requests   int64
 	Refreshes  int64
+	// FaultStalls counts injected busy/refresh-collision stalls (see
+	// the fault package); zero unless fault injection is enabled.
+	FaultStalls int64
 }
 
 // Memory is the two-bank memory system attached to the EIB.
@@ -130,6 +135,14 @@ type Memory struct {
 	cfg   Config
 	banks [2]*bank
 	ram   *RAM
+}
+
+// SetFaults attaches a fault injector to both banks (nil disables
+// injection). Wired by the cell package at system assembly.
+func (m *Memory) SetFaults(inj *fault.Injector) {
+	for _, b := range m.banks {
+		b.faults = inj
+	}
 }
 
 // New builds the memory system on the given bus.
@@ -211,21 +224,55 @@ func (m *Memory) Ramp(addr int64) eib.RampID {
 	return eib.RampIOIF0
 }
 
-func (m *Memory) checkSpan(addr int64, n int) {
+// RequestError is a typed rejection of a malformed line request: wrong
+// size, out-of-range address, or a span crossing a line boundary. CLI
+// layers print it as a clean message; inside the model it signals a
+// broken invariant (the MFC validates commands before packetizing).
+type RequestError struct {
+	Addr   int64
+	Bytes  int
+	Reason string
+}
+
+func (e *RequestError) Error() string {
+	return fmt.Sprintf("xdr: request %#x+%d: %s", e.Addr, e.Bytes, e.Reason)
+}
+
+// CheckSpan validates a line request against the address space, returning
+// a *RequestError describing the first violated rule, or nil.
+func (m *Memory) CheckSpan(addr int64, n int) error {
 	if n <= 0 || n > LineBytes {
-		panic(fmt.Sprintf("xdr: request of %d bytes (must be 1..%d)", n, LineBytes))
+		return &RequestError{Addr: addr, Bytes: n, Reason: fmt.Sprintf("size must be 1..%d", LineBytes)}
 	}
 	if addr < 0 || addr+int64(n) > m.cfg.TotalBytes {
-		panic(fmt.Sprintf("xdr: address %#x+%d out of range", addr, n))
+		return &RequestError{Addr: addr, Bytes: n, Reason: "address out of range"}
 	}
 	if addr/LineBytes != (addr+int64(n)-1)/LineBytes {
-		panic(fmt.Sprintf("xdr: request %#x+%d crosses a %d-byte line", addr, n, LineBytes))
+		return &RequestError{Addr: addr, Bytes: n, Reason: fmt.Sprintf("crosses a %d-byte line", LineBytes)}
+	}
+	return nil
+}
+
+// checkSpan enforces the line-request invariant on the internal Read and
+// Write paths. The callers (the MFCs, the PPE cache) validate user input
+// before packetizing, so a violation here is a model bug: panic with the
+// typed error so drivers that recover process panics still surface a
+// structured message.
+func (m *Memory) checkSpan(addr int64, n int) {
+	if err := m.CheckSpan(addr, n); err != nil {
+		panic(err)
 	}
 }
 
 func (b *bank) occupy(kind opKind, eng *sim.Engine, turn sim.Time, done func(end sim.Time)) {
 	b.applyRefresh(eng.Now())
 	b.applyNoise(eng.Now())
+	// Injected bank-busy stall: like a refresh collision, the bank is
+	// stolen with priority over the queued accesses.
+	if d := b.faults.XDRStall(); d > 0 {
+		b.stats.FaultStalls++
+		b.srv.Reserve(eng.Now(), d)
+	}
 	dur := b.service
 	if b.lastOp != kind {
 		dur += turn
