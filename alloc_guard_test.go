@@ -1,0 +1,52 @@
+package cellbe
+
+// The tracing subsystem is specified as zero-cost when off: attaching no
+// tracer must leave the EIB/MFC hot path's allocation count exactly where
+// the BENCH_eib.json baseline pinned it. This test enforces that in plain
+// `go test` runs (and CI), so a regression cannot hide until the next
+// manual benchmark pass.
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"cellbe/internal/cell"
+)
+
+func TestEIBSaturatedAllocGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full saturated run: skipped in -short mode")
+	}
+	data, err := os.ReadFile("BENCH_eib.json")
+	if err != nil {
+		t.Skipf("no baseline: %v (regenerate with go test -bench 'EIBSaturated|Sweep' -benchmem .)", err)
+	}
+	var all map[string]map[string]float64
+	if err := json.Unmarshal(data, &all); err != nil {
+		t.Fatalf("unparsable BENCH_eib.json: %v", err)
+	}
+	baseline, ok := all["EIBSaturated"]["allocs/op"]
+	if !ok {
+		t.Skip("baseline has no EIBSaturated allocs/op entry")
+	}
+
+	sc := saturatedScenario()
+	perOp := testing.AllocsPerRun(1, func() {
+		cfg := cell.DefaultConfig()
+		cfg.Layout = cell.RandomLayout(3)
+		sys := cell.New(cfg)
+		if _, err := sc.Install(sys); err != nil {
+			t.Fatal(err)
+		}
+		sys.Run()
+	})
+	// 2% + 16 allocs of slack absorbs runtime-version noise while still
+	// catching any per-transfer or per-command regression (32768 transfers
+	// per run: even +0.1 allocs/transfer would blow through this).
+	limit := baseline*1.02 + 16
+	if perOp > limit {
+		t.Fatalf("untraced saturated run allocates %.0f allocs/op, baseline %.0f (limit %.0f): tracing hooks are no longer free when off",
+			perOp, baseline, limit)
+	}
+}

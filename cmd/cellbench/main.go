@@ -32,6 +32,7 @@ import (
 	"cellbe/internal/fault"
 	"cellbe/internal/report"
 	"cellbe/internal/sim"
+	"cellbe/internal/trace"
 )
 
 func main() {
@@ -51,6 +52,12 @@ func main() {
 		faultSpec = flag.String("faults", "", "fault injection spec, e.g. mfc-retry:0.01,xdr-stall:0.05 (keys: "+strings.Join(fault.Keys(), ", ")+")")
 		faultSeed = flag.Int64("fault-seed", 0, "seed for the deterministic fault stream (0 = derive from layout seed)")
 		maxCycles = flag.Int64("max-cycles", 0, "watchdog cycle budget per simulation (0 = unlimited)")
+
+		traceOut     = flag.String("trace", "", "sweep only: write a Perfetto trace of the first grid point (chunks[0], first seed) to this file")
+		traceFilter  = flag.String("trace-filter", "", "comma list of event categories to trace: "+strings.Join(trace.FilterNames(), ", ")+" (empty = all)")
+		traceEvents  = flag.Int("trace-events", 1<<20, "trace ring-buffer capacity")
+		metricsOut   = flag.String("metrics", "", "sweep only: write a utilization timeseries CSV of the first grid point to this file")
+		metricsEvery = flag.Int64("metrics-every", 10000, "metrics sampling interval in cycles")
 
 		sweep   = flag.String("sweep", "", "sweep a scenario (pair, couples, cycle, or mem) over seeds x chunks")
 		spes    = flag.Int("spes", 8, "sweep: number of SPEs involved")
@@ -85,12 +92,26 @@ func main() {
 		os.Exit(2)
 	}
 
+	obs := observability{
+		traceOut:     *traceOut,
+		traceFilter:  *traceFilter,
+		traceEvents:  *traceEvents,
+		metricsOut:   *metricsOut,
+		metricsEvery: *metricsEvery,
+	}
 	if *sweep != "" {
-		if err := runSweep(*sweep, *spes, *op, *chunks, *seeds, *seed, *volume, *workers, base, *quiet); err != nil {
+		if err := runSweep(*sweep, *spes, *op, *chunks, *seeds, *seed, *volume, *workers, base, *quiet, obs); err != nil {
 			fmt.Fprintf(os.Stderr, "cellbench: %v\n", err)
 			os.Exit(2)
 		}
 		return
+	}
+	if obs.traceOut != "" || obs.metricsOut != "" {
+		// The experiment runner fans layout samples across goroutines, so a
+		// single tracer cannot be attached to "the" run; tracing is defined
+		// only for one designated grid point of a sweep.
+		fmt.Fprintln(os.Stderr, "cellbench: -trace and -metrics require -sweep (they instrument the first grid point)")
+		os.Exit(2)
 	}
 
 	params := core.DefaultParams()
@@ -189,9 +210,20 @@ func baseConfig(cfgIn, faultSpec string, faultSeed, maxCycles int64) (*cell.Conf
 	return base, nil
 }
 
+// observability bundles the -trace/-metrics flags. In sweep mode they
+// instrument exactly one grid point — (chunks[0], first seed) — because
+// every other point runs concurrently on worker goroutines.
+type observability struct {
+	traceOut     string
+	traceFilter  string
+	traceEvents  int
+	metricsOut   string
+	metricsEvery int64
+}
+
 // runSweep parses the sweep flags, fans the grid across workers via
 // core.RunSweep and prints one CSV row per grid point.
-func runSweep(scenario string, spes int, op, chunkList string, seedCount int, firstSeed, volume int64, workers int, base *cell.Config, quiet bool) error {
+func runSweep(scenario string, spes int, op, chunkList string, seedCount int, firstSeed, volume int64, workers int, base *cell.Config, quiet bool, obs observability) error {
 	var chunkSizes []int
 	for _, f := range strings.Split(chunkList, ",") {
 		c, err := strconv.Atoi(strings.TrimSpace(f))
@@ -217,10 +249,74 @@ func runSweep(scenario string, spes int, op, chunkList string, seedCount int, fi
 		Workers:  workers,
 		Base:     base,
 	}
+
+	// Instrument exactly the first grid point. The tracer and sampler are
+	// owned by that point's worker until RunSweep returns; we only read
+	// them afterwards, so no synchronization beyond RunSweep's own join is
+	// needed.
+	var tracer *trace.Tracer
+	var sampler *trace.Sampler
+	if obs.traceOut != "" || obs.metricsOut != "" {
+		mask, err := trace.ParseFilter(obs.traceFilter)
+		if err != nil {
+			return err
+		}
+		target := struct {
+			chunk int
+			seed  int64
+		}{chunkSizes[0], seedList[0]}
+		spec.Instrument = func(chunk int, seed int64, sys *cell.System) {
+			if chunk != target.chunk || seed != target.seed {
+				return
+			}
+			if obs.traceOut != "" {
+				tracer = trace.New(obs.traceEvents, mask)
+				sys.SetTracer(tracer)
+			}
+			if obs.metricsOut != "" {
+				sampler = sys.StartMetrics(sim.Time(obs.metricsEvery))
+			}
+		}
+	}
+
 	start := time.Now()
 	results, err := core.RunSweep(spec)
 	if err != nil {
 		return err
+	}
+	if tracer != nil {
+		f, err := os.Create(obs.traceOut)
+		if err != nil {
+			return err
+		}
+		if err := tracer.WritePerfetto(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if !quiet {
+			fmt.Fprintf(os.Stderr, "wrote %d trace events for point chunk=%d seed=%d to %s (%d dropped); open in ui.perfetto.dev\n",
+				tracer.Len(), chunkSizes[0], seedList[0], obs.traceOut, tracer.Dropped())
+		}
+	}
+	if sampler != nil {
+		f, err := os.Create(obs.metricsOut)
+		if err != nil {
+			return err
+		}
+		if err := report.TimeseriesCSV(f, sampler.Timeseries()); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if !quiet {
+			fmt.Fprintf(os.Stderr, "wrote metrics for point chunk=%d seed=%d to %s\n",
+				chunkSizes[0], seedList[0], obs.metricsOut)
+		}
 	}
 	if !quiet {
 		fmt.Fprintf(os.Stderr, "swept %d points in %v\n", len(results), time.Since(start).Round(time.Millisecond))
@@ -238,6 +334,14 @@ func runSweep(scenario string, spes int, op, chunkList string, seedCount int, fi
 		}
 		fmt.Printf("%s,%d,%d,%d,%.3f,%d,%d,%d,\"%s\"\n",
 			scenario, r.Chunk, r.Seed, r.Cycles, r.GBps, r.Transfers, r.WaitCycles, r.Commands, errCol)
+	}
+	// Per-point diagnostics, serialized after the CSV so concurrent grid
+	// points can never interleave lines on stderr. Results arrive sorted
+	// by (chunk, seed), so the order is deterministic too.
+	for _, r := range results {
+		for _, line := range r.Log {
+			fmt.Fprintf(os.Stderr, "point chunk=%d seed=%d: %s\n", r.Chunk, r.Seed, line)
+		}
 	}
 	if failed > 0 {
 		return fmt.Errorf("%d of %d grid points failed (see error column)", failed, len(results))

@@ -22,7 +22,9 @@ import (
 	"cellbe/internal/cell"
 	"cellbe/internal/eib"
 	"cellbe/internal/fault"
+	"cellbe/internal/report"
 	"cellbe/internal/sim"
+	"cellbe/internal/trace"
 )
 
 func main() {
@@ -40,6 +42,12 @@ func main() {
 		faultSpec = flag.String("faults", "", "fault injection spec, e.g. mfc-retry:0.01,xdr-stall:0.05 (keys: "+strings.Join(fault.Keys(), ", ")+")")
 		faultSeed = flag.Int64("fault-seed", 1, "seed for the deterministic fault stream")
 		maxCycles = flag.Int64("max-cycles", 0, "watchdog cycle budget (0 = unlimited)")
+
+		traceOut     = flag.String("trace", "", "write a Perfetto/Chrome trace-event JSON to this file")
+		traceFilter  = flag.String("trace-filter", "", "comma list of event categories to trace: "+strings.Join(trace.FilterNames(), ", ")+" (empty = all)")
+		traceEvents  = flag.Int("trace-events", 1<<20, "trace ring-buffer capacity (oldest events drop beyond it)")
+		metricsOut   = flag.String("metrics", "", "write a utilization timeseries CSV to this file")
+		metricsEvery = flag.Int64("metrics-every", 10000, "metrics sampling interval in cycles")
 	)
 	flag.Parse()
 
@@ -70,6 +78,43 @@ func main() {
 	}
 	sys := cell.New(cfg)
 
+	var tracer *trace.Tracer
+	if *traceOut != "" {
+		mask, err := trace.ParseFilter(*traceFilter)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cellsim: %v\n", err)
+			os.Exit(2)
+		}
+		tracer = trace.New(*traceEvents, mask)
+		sys.SetTracer(tracer)
+	}
+	var sampler *trace.Sampler
+	if *metricsOut != "" {
+		if *metricsEvery <= 0 {
+			fmt.Fprintf(os.Stderr, "cellsim: -metrics-every must be positive\n")
+			os.Exit(2)
+		}
+		sampler = sys.StartMetrics(sim.Time(*metricsEvery))
+	}
+	// flushObservability writes the trace and metrics files; it runs on
+	// failure paths too, so a wedged run still leaves an inspectable trace.
+	flushObservability := func() {
+		if tracer != nil {
+			if err := writeTrace(*traceOut, tracer); err != nil {
+				fmt.Fprintf(os.Stderr, "cellsim: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "cellsim: wrote %d trace events to %s (%d dropped); open in ui.perfetto.dev\n",
+				tracer.Len(), *traceOut, tracer.Dropped())
+		}
+		if sampler != nil {
+			if err := writeMetrics(*metricsOut, sampler); err != nil {
+				fmt.Fprintf(os.Stderr, "cellsim: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+
 	fmt.Printf("layout (logical -> physical -> ramp):\n")
 	for logical, phys := range sys.Layout() {
 		fmt.Printf("  SPE%d -> phys %d -> ramp %v\n", logical, phys, eib.PhysicalSPERamp(phys))
@@ -89,15 +134,18 @@ func main() {
 	if *timeline > 0 {
 		runTimeline(sys, *timeline)
 		if err := sys.Verify(); err != nil {
+			flushObservability()
 			fmt.Fprintf(os.Stderr, "cellsim: %v\n", err)
 			os.Exit(1)
 		}
 	} else if err := sys.RunChecked(sim.Time(*maxCycles)); err != nil {
 		// A wedged or byte-losing run exits non-zero with the structured
 		// diagnostic (stuck processes, outstanding MFC tags, cycle, ...).
+		flushObservability()
 		fmt.Fprintf(os.Stderr, "cellsim: %v\n", err)
 		os.Exit(1)
 	}
+	flushObservability()
 	cycles := sys.Eng.Now()
 	fmt.Printf("\nscenario %s: %d SPEs, %dB elements, %d MB/SPE\n",
 		*scenario, *spes, *chunk, *volume>>20)
@@ -120,10 +168,19 @@ func main() {
 			dir = "ccw"
 		}
 		util := float64(busy) / float64(cycles) * 100
-		fmt.Printf("  ring %d (%s): %d segment-cycles reserved (%.1f%% of one segment)\n", i, dir, busy, util)
+		fmt.Printf("  ring %d (%s): %d segment-cycles reserved (%.1f%% of one segment), %d transfers, %d MB\n",
+			i, dir, busy, util, st.PerRingTransfers[i], st.PerRingBytes[i]>>20)
 	}
-	fmt.Printf("  per-direction transfers: cw=%d ccw=%d\n",
-		st.PerDirCount[eib.Clockwise], st.PerDirCount[eib.Counterclockwise])
+	fmt.Printf("  per-direction: cw %d transfers / %d MB, ccw %d transfers / %d MB\n",
+		st.PerDirCount[eib.Clockwise], st.PerDirBytes[eib.Clockwise]>>20,
+		st.PerDirCount[eib.Counterclockwise], st.PerDirBytes[eib.Counterclockwise]>>20)
+	for r := 0; r < eib.NumRamps; r++ {
+		if st.PerRampTransfers[r] == 0 && st.PerRampRecvBytes[r] == 0 {
+			continue
+		}
+		fmt.Printf("  ramp %-5v: sourced %4d MB in %d transfers, sank %4d MB\n",
+			eib.RampID(r), st.PerRampBytes[r]>>20, st.PerRampTransfers[r], st.PerRampRecvBytes[r]>>20)
+	}
 
 	for b := 0; b < 2; b++ {
 		bs := sys.Mem.BankStats(b)
@@ -157,6 +214,32 @@ func main() {
 				tr.Issued, tr.Start, tr.End, tr.Src, tr.Dst, tr.Bytes, tr.Ring)
 		}
 	}
+}
+
+// writeTrace dumps the tracer's events as Perfetto-loadable JSON.
+func writeTrace(path string, tr *trace.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WritePerfetto(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeMetrics dumps a metrics sampler's timeseries as CSV.
+func writeMetrics(path string, s *trace.Sampler) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := report.TimeseriesCSV(f, s.Timeseries()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runTimeline drives the simulation in fixed windows, printing per-window

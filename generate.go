@@ -1,0 +1,10 @@
+package cellbe
+
+// results/full_sweep.txt is the checked-in run that EXPERIMENTS.md cites.
+// Regenerate it after adding or changing an experiment (the table gains a
+// section per registry entry, so a stale file is visible as a missing
+// experiment) with:
+//
+//	go generate .
+//
+//go:generate sh -c "go run ./cmd/cellbench -all -full -q > results/full_sweep.txt"

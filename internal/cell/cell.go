@@ -22,6 +22,7 @@ import (
 	"cellbe/internal/ppe"
 	"cellbe/internal/sim"
 	"cellbe/internal/spe"
+	"cellbe/internal/trace"
 	"cellbe/internal/xdr"
 )
 
@@ -107,6 +108,7 @@ type System struct {
 	resv      *reservations
 	rem       *remoteChip
 	faults    *fault.Injector
+	tracer    *trace.Tracer
 }
 
 // New builds a system from cfg.
@@ -159,6 +161,96 @@ func New(cfg Config) *System {
 // Faults returns the system's fault injector (nil when injection is
 // disabled).
 func (s *System) Faults() *fault.Injector { return s.faults }
+
+// Tracer returns the attached event tracer (nil when tracing is off).
+func (s *System) Tracer() *trace.Tracer { return s.tracer }
+
+// SetTracer wires an event tracer through every component — the EIB, both
+// XDR banks, all eight MFCs and the PPE — following the SetFaults
+// discipline: nil (the default) leaves every hot path on its traced-off
+// fast path. It also stamps the tracer with the system clock and display
+// names for every track so exports are self-describing.
+func (s *System) SetTracer(tr *trace.Tracer) {
+	s.tracer = tr
+	s.Bus.SetTracer(tr)
+	s.Mem.SetTracer(tr)
+	s.PPE.SetTracer(tr)
+	for i, sp := range s.SPEs {
+		sp.MFC().SetTracer(tr, i)
+	}
+	if tr == nil {
+		return
+	}
+	tr.SetClock(s.cfg.ClockGHz)
+	tr.SetTrackName(trace.TrackPPE, "PPE fills")
+	tr.SetTrackName(trace.TrackPPEMissQ, "PPE miss queue")
+	for i := range s.SPEs {
+		ramp := eib.PhysicalSPERamp(s.cfg.Layout[i])
+		tr.SetTrackName(trace.MFCTrack(i), fmt.Sprintf("SPE%d MFC (ramp %v)", i, ramp))
+		tr.SetTrackName(trace.TagTrack(i), fmt.Sprintf("SPE%d tags", i))
+	}
+	for r := 0; r < eib.NumRamps; r++ {
+		tr.SetTrackName(trace.RampTrack(r), fmt.Sprintf("%v out", eib.RampID(r)))
+	}
+	for ring := 0; ring < 2*s.cfg.EIB.RingsPerDirection; ring++ {
+		dir := eib.Clockwise
+		if ring >= s.cfg.EIB.RingsPerDirection {
+			dir = eib.Counterclockwise
+		}
+		for seg := 0; seg < eib.NumRamps; seg++ {
+			next := (seg + 1) % eib.NumRamps
+			if dir == eib.Counterclockwise {
+				next = (seg - 1 + eib.NumRamps) % eib.NumRamps
+			}
+			tr.SetTrackName(trace.SegTrack(ring, seg),
+				fmt.Sprintf("ring%d %v %v>%v", ring, dir, eib.RampID(seg), eib.RampID(next)))
+		}
+	}
+	tr.SetTrackName(trace.BankTrack(0), "XDR local (MIC)")
+	tr.SetTrackName(trace.BankTrack(1), "XDR remote (IOIF0)")
+}
+
+// StartMetrics arms a periodic utilization sampler on the system: every
+// interval cycles it records EIB bandwidth and command rate, per-ring
+// utilization, accumulated wait cycles, both XDR banks' bandwidth,
+// per-SPE MFC queue depth, the command-bus backlog and the PPE miss-queue
+// occupancy. The sampler runs on daemon events, so it never extends a run
+// or changes simulated behaviour; call before Run and read the returned
+// sampler's Timeseries afterwards.
+func (s *System) StartMetrics(interval sim.Time) *trace.Sampler {
+	sa := trace.NewSampler(s.Eng, interval)
+	clk := s.cfg.ClockGHz
+	perCyc := 1.0 / float64(interval)
+	sa.Rate("eib_GBps", clk*perCyc, func() float64 { return float64(s.Bus.Stats().Bytes) })
+	sa.Rate("eib_cmds_per_kcyc", 1000*perCyc, func() float64 { return float64(s.Bus.Stats().Commands) })
+	sa.Rate("eib_transfers", 1, func() float64 { return float64(s.Bus.Stats().Transfers) })
+	sa.Rate("eib_wait_cyc", 1, func() float64 { return float64(s.Bus.Stats().WaitCycles) })
+	nrings := 2 * s.cfg.EIB.RingsPerDirection
+	if nrings > len(s.Bus.Stats().BusyCycles) {
+		nrings = len(s.Bus.Stats().BusyCycles)
+	}
+	for r := 0; r < nrings; r++ {
+		sa.Rate(fmt.Sprintf("ring%d_util", r), perCyc, func() float64 {
+			return float64(s.Bus.Stats().BusyCycles[r])
+		})
+	}
+	sa.Rate("xdr_local_GBps", clk*perCyc, func() float64 {
+		b := s.Mem.BankStats(0)
+		return float64(b.ReadBytes + b.WriteBytes)
+	})
+	sa.Rate("xdr_remote_GBps", clk*perCyc, func() float64 {
+		b := s.Mem.BankStats(1)
+		return float64(b.ReadBytes + b.WriteBytes)
+	})
+	for i, sp := range s.SPEs {
+		m := sp.MFC()
+		sa.Gauge(fmt.Sprintf("spe%d_q", i), func() float64 { return float64(m.QueueOccupancy()) })
+	}
+	sa.Gauge("cmdbus_backlog", func() float64 { return float64(s.Bus.CommandBacklog()) })
+	sa.Gauge("ppe_missq", func() float64 { return float64(s.PPE.InflightFills()) })
+	sa.Start()
+	return sa
+}
 
 // diagnose contributes per-SPE MFC state to watchdog diagnostics.
 func (s *System) diagnose() []string {

@@ -120,6 +120,11 @@ var registry = map[string]Experiment{
 		Description: "Bandwidth vs injected fault rate for pair/couples/cycle/mem scenarios",
 		Run:         FaultSweep,
 	},
+	"layout-timeline": {
+		Name: "layout-timeline", Figure: "Figures 13, 16 (mechanism)",
+		Description: "EIB bandwidth & wait timelines of the best vs worst SPE layout (cycle scenario)",
+		Run:         LayoutTimeline,
+	},
 	"dma-latency": {
 		Name: "dma-latency", Figure: "extension (after Kistler et al.)",
 		Description: "Synchronous DMA round-trip latency by size, LS-to-LS and memory",

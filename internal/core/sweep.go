@@ -40,6 +40,12 @@ type SweepSpec struct {
 	Base *cell.Config
 	// MaxCycles is the watchdog budget per grid point (0 = unlimited).
 	MaxCycles sim.Time
+	// Instrument, when set, runs against each grid point's freshly built
+	// System before the scenario installs — the hook cellbench uses to
+	// attach a tracer or metrics sampler to one chosen point. It executes
+	// on a worker goroutine: an Instrument that touches shared state must
+	// target a single (chunk, seed) point, or synchronize.
+	Instrument func(chunk int, seed int64, sys *cell.System)
 }
 
 // SweepResult is the outcome of one (chunk, seed) grid point.
@@ -55,6 +61,12 @@ type SweepResult struct {
 	// recovered panic, ...); the rest of the sweep still runs. Numeric
 	// fields are zero when Err is set.
 	Err error
+	// Log carries this point's diagnostic lines — the full multi-line
+	// deadlock/panic detail that does not fit a one-row CSV cell, and the
+	// resolved SPE layout for failed points. Workers never print: all
+	// reporting flows through the result so output is serialized and
+	// deterministic regardless of worker count.
+	Log []string
 }
 
 // validate rejects impossible grids before any goroutine spawns.
@@ -124,6 +136,7 @@ func RunSweep(spec SweepSpec) ([]SweepResult, error) {
 				} else {
 					res.Err = fmt.Errorf("core: grid point chunk=%d seed=%d panicked: %v", pt.chunk, pt.seed, r)
 				}
+				res.Log = append(res.Log, res.Err.Error())
 			}
 		}()
 		cfg := cell.DefaultConfig()
@@ -137,13 +150,19 @@ func RunSweep(spec SweepSpec) ([]SweepResult, error) {
 			cfg.FaultSeed = pt.seed
 		}
 		sys := cell.New(cfg)
+		if spec.Instrument != nil {
+			spec.Instrument(pt.chunk, pt.seed, sys)
+		}
 		total, err := spec.scenario(pt.chunk).Install(sys)
 		if err != nil {
 			res.Err = err
+			res.Log = append(res.Log, err.Error())
 			return res
 		}
 		if err := sys.RunChecked(spec.MaxCycles); err != nil {
 			res.Err = err
+			res.Log = append(res.Log,
+				fmt.Sprintf("layout %v", sys.Layout()), err.Error())
 			return res
 		}
 		st := sys.Bus.Stats()

@@ -39,7 +39,13 @@ func TestSweepWorkerIndependence(t *testing.T) {
 			t.Fatalf("workers=%d: %d results, want %d", workers, len(parallel), len(serial))
 		}
 		for i := range serial {
-			if parallel[i] != serial[i] {
+			a, b := parallel[i], serial[i]
+			same := a.Chunk == b.Chunk && a.Seed == b.Seed && a.Cycles == b.Cycles &&
+				a.GBps == b.GBps && a.Transfers == b.Transfers &&
+				a.WaitCycles == b.WaitCycles && a.Commands == b.Commands &&
+				len(a.Log) == len(b.Log) &&
+				(a.Err == nil) == (b.Err == nil)
+			if !same {
 				t.Errorf("workers=%d point %d diverged: %+v vs serial %+v",
 					workers, i, parallel[i], serial[i])
 			}

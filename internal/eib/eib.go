@@ -21,6 +21,7 @@ import (
 
 	"cellbe/internal/fault"
 	"cellbe/internal/sim"
+	"cellbe/internal/trace"
 )
 
 // RampID identifies a physical position (bus unit) on the ring, 0..11.
@@ -155,9 +156,21 @@ type Stats struct {
 	// transfers are counted explicitly with zero wait: they inflate
 	// Transfers but never WaitCycles, which is why the per-transfer
 	// average must exclude them (see LocalTransfers).
-	WaitCycles   sim.Time
+	WaitCycles sim.Time
+	// PerRampBytes counts bytes *sourced* by each ramp (ring transfers
+	// only, matching the original aggregate semantics).
 	PerRampBytes [NumRamps]int64
 	PerDirCount  [2]int64
+
+	// Finer-grained breakdowns (ring transfers only; ramp-local transfers
+	// never appear here). PerRamp* are indexed by physical RampID,
+	// PerRing* by granted ring (0..1 clockwise, 2..3 counterclockwise in
+	// the default configuration), PerDir* by Direction.
+	PerRampRecvBytes [NumRamps]int64 // bytes sunk at each destination ramp
+	PerRampTransfers [NumRamps]int64 // transfers sourced by each ramp
+	PerRingTransfers [4]int64
+	PerRingBytes     [4]int64
+	PerDirBytes      [2]int64
 }
 
 // TransferRecord is one traced data transfer.
@@ -183,6 +196,7 @@ type EIB struct {
 	// cycle (fixed point, so fractional intervals pace exactly).
 	cmdNextTenths int64
 	faults        *fault.Injector
+	tracer        *trace.Tracer
 	stats         Stats
 	trace         []TransferRecord
 	traceNext     int
@@ -191,6 +205,21 @@ type EIB struct {
 // SetFaults attaches a fault injector (nil disables injection). Wired by
 // the cell package at system assembly.
 func (e *EIB) SetFaults(inj *fault.Injector) { e.faults = inj }
+
+// SetTracer attaches an event tracer (nil disables tracing, the default).
+// Wired by the cell package at system assembly, like SetFaults.
+func (e *EIB) SetTracer(tr *trace.Tracer) { e.tracer = tr }
+
+// CommandBacklog returns how many cycles the command bus pacing cursor sits
+// ahead of now: the queueing delay the next command would see. It is the
+// token-bucket level the metrics sampler reports.
+func (e *EIB) CommandBacklog() sim.Time {
+	ahead := sim.Time((e.cmdNextTenths + 9) / 10)
+	if now := e.eng.Now(); ahead > now {
+		return ahead - now
+	}
+	return 0
+}
 
 // Trace returns the retained transfer records, oldest first. Empty unless
 // Config.TraceCapacity is set.
@@ -334,6 +363,8 @@ func (e *EIB) Transfer(src, dst RampID, bytes int, earliest sim.Time, done func(
 		e.stats.WaitCycles += 0 // local transfers wait on nothing, by definition
 		e.stats.Bytes += int64(bytes)
 		e.record(TransferRecord{Issued: e.eng.Now(), Start: earliest, End: end, Src: src, Dst: dst, Bytes: bytes, Ring: -1})
+		e.tracer.Emit(trace.RampTrack(int(src)), trace.KindTransfer,
+			earliest, end, int64(bytes), -1, int64(dst), 0)
 		e.eng.AtCall(end, done, end)
 		return
 	}
@@ -416,7 +447,21 @@ func (e *EIB) Transfer(src, dst RampID, bytes int, earliest sim.Time, done func(
 	e.stats.WaitCycles += bestStart - earliest
 	e.stats.PerRampBytes[src] += int64(bytes)
 	e.stats.PerDirCount[r.dir]++
+	e.stats.PerRampRecvBytes[dst] += int64(bytes)
+	e.stats.PerRampTransfers[src]++
+	e.stats.PerRingTransfers[bestRing]++
+	e.stats.PerRingBytes[bestRing] += int64(bytes)
+	e.stats.PerDirBytes[r.dir] += int64(bytes)
 	e.record(TransferRecord{Issued: e.eng.Now(), Start: bestStart, End: end, Src: src, Dst: dst, Bytes: bytes, Ring: bestRing})
+
+	e.tracer.Emit(trace.RampTrack(int(src)), trace.KindTransfer,
+		bestStart, bestStart+dur, int64(bytes), int64(bestRing), int64(dst), int64(bestStart-earliest))
+	if e.tracer.Enabled(trace.KindSegment) {
+		for _, s := range bestSegs {
+			e.tracer.Emit(trace.SegTrack(bestRing, s), trace.KindSegment,
+				bestStart, bestStart+dur, int64(bytes), int64(src), int64(dst), 0)
+		}
+	}
 
 	e.eng.AtCall(end, done, end)
 }

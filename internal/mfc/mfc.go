@@ -28,6 +28,7 @@ import (
 
 	"cellbe/internal/fault"
 	"cellbe/internal/sim"
+	"cellbe/internal/trace"
 )
 
 // MaxTransfer is the architectural maximum size of one DMA element (16 KB).
@@ -172,6 +173,10 @@ type cmdState struct {
 	issuedAll   bool
 	totalIssued int64
 	readyAt     sim.Time // fence/barrier release time (set when satisfied)
+	// tracing timestamps: enqueue time and first bus-packet issue time
+	// (plain stores, kept up to date whether or not a tracer is attached)
+	issued      sim.Time
+	firstPacket sim.Time
 	done        func()
 	// onPacket is the per-packet completion callback, bound once at
 	// enqueue: a 16 KB command issues up to 128 line-sized packets, and
@@ -186,6 +191,10 @@ type MFC struct {
 	ls     []byte
 	cfg    Config
 	faults *fault.Injector
+
+	tracer   *trace.Tracer
+	traceSPE int               // logical SPE index for track identity
+	tagStart [NumTags]sim.Time // cycle each tag group last went busy
 
 	seq         int64
 	spuQueue    int // occupied SPU queue slots
@@ -224,6 +233,18 @@ func New(eng *sim.Engine, fabric Fabric, ls []byte, cfg Config) *MFC {
 // SetFaults attaches a fault injector (nil disables injection). Wired by
 // the cell package at system assembly.
 func (m *MFC) SetFaults(inj *fault.Injector) { m.faults = inj }
+
+// SetTracer attaches an event tracer (nil disables tracing, the default)
+// and the logical SPE index that identifies this MFC's tracks. Wired by
+// the cell package at system assembly, like SetFaults.
+func (m *MFC) SetTracer(tr *trace.Tracer, spe int) {
+	m.tracer = tr
+	m.traceSPE = spe
+}
+
+// QueueOccupancy returns the number of occupied SPU command-queue slots
+// (the metrics sampler's per-SPE queue-depth gauge).
+func (m *MFC) QueueOccupancy() int { return m.spuQueue }
 
 // Stats returns a snapshot of the activity counters.
 func (m *MFC) Stats() Stats { return m.stats }
@@ -321,9 +342,12 @@ func (m *MFC) enqueue(c Cmd, done func(), proxy bool) error {
 		m.spuQueue++
 	}
 	m.seq++
-	st := &cmdState{cmd: c, seq: m.seq, proxy: proxy, done: done, readyAt: -1}
+	st := &cmdState{cmd: c, seq: m.seq, proxy: proxy, done: done, readyAt: -1, issued: m.eng.Now()}
 	st.onPacket = m.packetDone(st)
 	m.active = append(m.active, st)
+	if m.tagCount[c.Tag] == 0 {
+		m.tagStart[c.Tag] = m.eng.Now()
+	}
 	m.tagCount[c.Tag]++
 	m.tagRequested[c.Tag] += payloadBytes(&c)
 	m.stats.Commands++
@@ -475,6 +499,7 @@ func (m *MFC) pump() {
 		if !st.started {
 			st.started = true
 			t += m.cfg.SetupCycles
+			st.firstPacket = t
 		}
 		if st.cmd.Kind.IsList() && newElem {
 			t += m.cfg.ListElemCycles
@@ -561,6 +586,13 @@ func (m *MFC) complete(st *cmdState) {
 	}
 	m.tagCount[st.cmd.Tag]--
 	m.tagDelivered[st.cmd.Tag] += payloadBytes(&st.cmd)
+	m.tracer.Emit(trace.MFCTrack(m.traceSPE), trace.KindDMA,
+		st.issued, m.eng.Now(), payloadBytes(&st.cmd), int64(st.cmd.Tag),
+		int64(st.cmd.Kind), int64(st.firstPacket))
+	if m.tagCount[st.cmd.Tag] == 0 {
+		m.tracer.Emit(trace.TagTrack(m.traceSPE), trace.KindTag,
+			m.tagStart[st.cmd.Tag], m.eng.Now(), int64(st.cmd.Tag), 0, 0, 0)
+	}
 	m.checkTagWaiters()
 	if st.done != nil {
 		m.eng.Schedule(0, st.done)

@@ -26,6 +26,7 @@ import (
 	"fmt"
 
 	"cellbe/internal/sim"
+	"cellbe/internal/trace"
 )
 
 // LineBytes is the cache line size of both cache levels.
@@ -146,9 +147,18 @@ type PPE struct {
 	inflight  map[int64]*sim.Signal // line address -> fill completion
 	storePort *sim.TokenBucket
 
+	tracer        *trace.Tracer
 	activeThreads int
 	stats         Stats
 }
+
+// SetTracer attaches an event tracer (nil disables tracing, the default).
+// Wired by the cell package at system assembly, like SetFaults elsewhere.
+func (p *PPE) SetTracer(tr *trace.Tracer) { p.tracer = tr }
+
+// InflightFills returns the current L2 miss-queue occupancy (demand misses
+// plus prefetches with a fill outstanding).
+func (p *PPE) InflightFills() int { return len(p.inflight) }
 
 // New returns a PPE attached to mem.
 func New(eng *sim.Engine, mem MemoryPort, cfg Config) *PPE {
@@ -197,12 +207,20 @@ func (p *PPE) fetch(lineAddr int64, dirty bool) *sim.Signal {
 	sig := sim.NewSignal(p.eng)
 	p.inflight[lineAddr] = sig
 	p.stats.L2Misses++
+	p.tracer.Counter(trace.TrackPPEMissQ, p.eng.Now(), int64(len(p.inflight)))
+	issuedAt := p.eng.Now()
+	rfo := int64(0)
+	if dirty {
+		rfo = 1
+	}
 	p.mem.ReadLine(lineAddr, p.eng.Now(), func(end sim.Time) {
 		if ev, evDirty, has := p.l2.Insert(lineAddr, dirty); has && evDirty {
 			p.stats.Writebacks++
 			p.mem.WriteLine(ev, end, func(sim.Time) {})
 		}
 		delete(p.inflight, lineAddr)
+		p.tracer.Emit(trace.TrackPPE, trace.KindFill, issuedAt, p.eng.Now(), lineAddr, rfo, 0, 0)
+		p.tracer.Counter(trace.TrackPPEMissQ, p.eng.Now(), int64(len(p.inflight)))
 		sig.Fire()
 	})
 	return sig

@@ -10,7 +10,35 @@ import (
 
 	"cellbe/internal/core"
 	"cellbe/internal/stats"
+	"cellbe/internal/trace"
 )
+
+// TimeseriesCSV writes a metrics-sampler timeseries (cellsim/cellbench
+// -metrics) as CSV: the header row names the columns ("cycle" first), then
+// one row per sampling tick. Cycle counts print as integers, metric values
+// with four decimals.
+func TimeseriesCSV(w io.Writer, ts *trace.Timeseries) error {
+	if _, err := fmt.Fprintln(w, strings.Join(ts.Columns, ",")); err != nil {
+		return err
+	}
+	for _, row := range ts.Rows {
+		var b strings.Builder
+		for i, v := range row {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if i == 0 {
+				fmt.Fprintf(&b, "%d", int64(v))
+			} else {
+				fmt.Fprintf(&b, "%.4f", v)
+			}
+		}
+		if _, err := fmt.Fprintln(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // Table writes r as an aligned text table: one row per x value, one
 // column group (avg) per curve.

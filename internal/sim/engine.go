@@ -21,13 +21,15 @@ const Forever Time = 1<<62 - 1
 
 // event is one scheduled callback. Either fn or tfn is set; tfn carries a
 // pre-bound Time argument so hot paths can schedule a completion callback
-// without wrapping it in a fresh closure (see AtCall).
+// without wrapping it in a fresh closure (see AtCall). daemon events (see
+// AtDaemon) never keep the simulation alive on their own.
 type event struct {
-	at   Time
-	seq  int64
-	fn   func()
-	tfn  func(Time)
-	targ Time
+	at     Time
+	seq    int64
+	fn     func()
+	tfn    func(Time)
+	targ   Time
+	daemon bool
 }
 
 // Engine is a discrete-event simulator. The zero value is not usable; call
@@ -43,10 +45,11 @@ type event struct {
 // scheduling sequence) is identical to the container/heap implementation,
 // so simulation results are unchanged.
 type Engine struct {
-	now    Time
-	seq    int64
-	events []event
-	nfired int64
+	now     Time
+	seq     int64
+	events  []event
+	nfired  int64
+	ndaemon int // pending daemon events (see AtDaemon)
 
 	// Watchdog state (see watchdog.go): every spawned process, and the
 	// component diagnostic hooks consulted when building a DeadlockError.
@@ -68,6 +71,11 @@ func (e *Engine) Fired() int64 { return e.nfired }
 
 // Pending returns the number of scheduled events not yet fired.
 func (e *Engine) Pending() int { return len(e.events) }
+
+// PendingWork returns the number of pending non-daemon events: the events
+// that keep the simulation running. Daemon observers (the trace metrics
+// sampler) use it to decide whether to reschedule themselves.
+func (e *Engine) PendingWork() int { return len(e.events) - e.ndaemon }
 
 // before reports whether event a fires before event b: earlier timestamp,
 // ties broken by scheduling order.
@@ -151,6 +159,20 @@ func (e *Engine) AtCall(t Time, fn func(Time), arg Time) {
 	e.push(event{at: t, seq: e.seq, tfn: fn, targ: arg})
 }
 
+// AtDaemon arranges for fn to run at absolute time t (>= Now) as a daemon
+// event: it fires like any other event, but pending daemon events do not
+// keep the simulation alive — Run and RunChecked stop once only daemons
+// remain, without firing them. Periodic observers (the metrics sampler)
+// use this so sampling never extends a run past its real last event.
+func (e *Engine) AtDaemon(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", t, e.now))
+	}
+	e.seq++
+	e.ndaemon++
+	e.push(event{at: t, seq: e.seq, fn: fn, daemon: true})
+}
+
 // Step fires the next event, advancing time to it. It reports whether an
 // event was fired (false when the queue is empty).
 func (e *Engine) Step() bool {
@@ -158,6 +180,9 @@ func (e *Engine) Step() bool {
 		return false
 	}
 	ev := e.pop()
+	if ev.daemon {
+		e.ndaemon--
+	}
 	e.now = ev.at
 	e.nfired++
 	if ev.fn != nil {
@@ -168,20 +193,21 @@ func (e *Engine) Step() bool {
 	return true
 }
 
-// Run fires events until the queue is empty.
+// Run fires events until only daemon events (if any) remain.
 func (e *Engine) Run() {
-	for e.Step() {
+	for e.PendingWork() > 0 {
+		e.Step()
 	}
 }
 
 // RunUntil fires events with timestamp <= t, then advances time to t. It
-// reports whether any events remain after t.
+// reports whether any non-daemon events remain after t.
 func (e *Engine) RunUntil(t Time) bool {
-	for len(e.events) > 0 && e.events[0].at <= t {
+	for len(e.events) > 0 && e.events[0].at <= t && e.PendingWork() > 0 {
 		e.Step()
 	}
 	if e.now < t {
 		e.now = t
 	}
-	return len(e.events) > 0
+	return e.PendingWork() > 0
 }

@@ -481,3 +481,60 @@ func TestEngineHeapOrderTorture(t *testing.T) {
 		}
 	}
 }
+
+// TestDaemonEventsDontKeepSimulationAlive checks the AtDaemon contract: a
+// self-rescheduling daemon (the metrics sampler's shape) must not extend a
+// run past its last real event, and Run must terminate even though the
+// daemon always has a future event pending.
+func TestDaemonEventsDontKeepSimulationAlive(t *testing.T) {
+	e := NewEngine()
+	var ticks []Time
+	var tick func()
+	tick = func() {
+		ticks = append(ticks, e.Now())
+		if e.PendingWork() > 0 {
+			e.AtDaemon(e.Now()+10, tick)
+		}
+	}
+	done := Time(-1)
+	e.At(35, func() { done = e.Now() })
+	e.AtDaemon(10, tick)
+	e.Run()
+	if done != 35 {
+		t.Fatalf("real event fired at %d, want 35", done)
+	}
+	if e.Now() != 35 {
+		t.Fatalf("Now() = %d after Run, want 35 (daemons must not advance past last real event)", e.Now())
+	}
+	want := []Time{10, 20, 30}
+	if len(ticks) != len(want) {
+		t.Fatalf("daemon ticked at %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("daemon ticked at %v, want %v", ticks, want)
+		}
+	}
+	if e.PendingWork() != 0 {
+		t.Fatalf("PendingWork() = %d after Run, want 0", e.PendingWork())
+	}
+}
+
+// TestRunUntilSkipsTrailingDaemons checks RunUntil stops firing once only
+// daemons remain but still advances the clock to the requested time.
+func TestRunUntilSkipsTrailingDaemons(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.At(5, func() { fired++ })
+	e.AtDaemon(8, func() { fired++ })
+	more := e.RunUntil(20)
+	if more {
+		t.Fatal("RunUntil reported pending work with only daemons left")
+	}
+	if fired != 1 {
+		t.Fatalf("fired %d events, want 1 (the daemon at 8 must not fire)", fired)
+	}
+	if e.Now() != 20 {
+		t.Fatalf("Now() = %d, want 20", e.Now())
+	}
+}

@@ -104,7 +104,7 @@ func (e *Engine) deadlock(reason string) *DeadlockError {
 // the queue drains while spawned processes are still blocked (a
 // deadlock), it returns a *DeadlockError describing the wedged state.
 func (e *Engine) RunChecked(maxCycles Time) error {
-	for len(e.events) > 0 {
+	for e.PendingWork() > 0 {
 		if maxCycles > 0 && e.events[0].at > maxCycles {
 			return e.deadlock(fmt.Sprintf("cycle budget %d exceeded", maxCycles))
 		}

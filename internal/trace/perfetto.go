@@ -1,0 +1,223 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Process (pid) grouping in the exported trace: Perfetto renders one
+// expandable group per pid, so the classes map to the machine's floorplan.
+const (
+	pidCores    = 1 // PPE, SPE MFCs, tag groups, miss-queue counter
+	pidRamps    = 2 // the 12 EIB data ramps
+	pidSegments = 3 // ring-segment reservations, one thread per segment
+	pidBanks    = 4 // XDR banks / IOIF links
+)
+
+func (t Track) pid() int {
+	switch t.class() {
+	case classRamp:
+		return pidRamps
+	case classSegment:
+		return pidSegments
+	case classBank:
+		return pidBanks
+	}
+	return pidCores
+}
+
+var processNames = map[int]string{
+	pidCores:    "cores",
+	pidRamps:    "EIB ramps",
+	pidSegments: "EIB ring segments",
+	pidBanks:    "XDR memory",
+}
+
+// usec converts a cycle timestamp to the trace format's microseconds,
+// rendered with fixed precision so exports are byte-stable across
+// platforms (no %g shortest-form variation).
+func usec(c int64, ghz float64) string {
+	return strconv.FormatFloat(float64(c)/(ghz*1e3), 'f', 4, 64)
+}
+
+// spanRef carries one event through per-track lane assignment.
+type spanRef struct {
+	idx  int // index into the exported event slice
+	lane int
+}
+
+// WritePerfetto writes the tracer's events as Chrome trace-event JSON
+// (the "JSON object format"), loadable directly in ui.perfetto.dev or
+// chrome://tracing. Output is deterministic and byte-stable for a given
+// event sequence: tracks get stable pid/tid assignments, overlapping spans
+// on one track are fanned out to numbered lanes (threads) by a greedy
+// first-fit in event order, and timestamps use fixed-precision formatting.
+func (t *Tracer) WritePerfetto(w io.Writer) error {
+	events := t.Events()
+	ghz := 1.0
+	if t != nil && t.clockGHz > 0 {
+		ghz = t.clockGHz
+	}
+
+	// Stable track enumeration: sort by (pid, raw track value). Within
+	// pidCores the class encoding already orders PPE < MFCs < tag tracks <
+	// miss-queue counter.
+	byTrack := make(map[Track][]spanRef)
+	for i, ev := range events {
+		byTrack[ev.Track] = append(byTrack[ev.Track], spanRef{idx: i})
+	}
+	tracks := make([]Track, 0, len(byTrack))
+	for tr := range byTrack {
+		tracks = append(tracks, tr)
+	}
+	sort.Slice(tracks, func(i, j int) bool {
+		if tracks[i].pid() != tracks[j].pid() {
+			return tracks[i].pid() < tracks[j].pid()
+		}
+		return tracks[i] < tracks[j]
+	})
+
+	// Assign lanes: spans within one track that overlap in time cannot
+	// share a Perfetto thread row, so each span takes the lowest lane
+	// whose previous span has ended. Events() is ordered by emission,
+	// which is almost-sorted by End; sort explicitly by (Start, End, idx)
+	// for a deterministic greedy result.
+	lanesByTrack := make(map[Track]int, len(byTrack))
+	tidOf := make(map[Track]int, len(byTrack)) // tid of lane 0
+	nextTid := map[int]int{}
+	for _, tr := range tracks {
+		refs := byTrack[tr]
+		sort.Slice(refs, func(i, j int) bool {
+			a, b := events[refs[i].idx], events[refs[j].idx]
+			if a.Start != b.Start {
+				return a.Start < b.Start
+			}
+			if a.End != b.End {
+				return a.End < b.End
+			}
+			return refs[i].idx < refs[j].idx
+		})
+		var laneEnd []int64
+		for k := range refs {
+			ev := events[refs[k].idx]
+			lane := -1
+			for l, end := range laneEnd {
+				if end <= int64(ev.Start) {
+					lane = l
+					break
+				}
+			}
+			if lane < 0 {
+				lane = len(laneEnd)
+				laneEnd = append(laneEnd, 0)
+			}
+			laneEnd[lane] = int64(ev.End)
+			refs[k].lane = lane
+		}
+		byTrack[tr] = refs
+		lanesByTrack[tr] = len(laneEnd)
+		if lanesByTrack[tr] == 0 {
+			lanesByTrack[tr] = 1
+		}
+		pid := tr.pid()
+		if _, ok := nextTid[pid]; !ok {
+			nextTid[pid] = 1
+		}
+		tidOf[tr] = nextTid[pid]
+		nextTid[pid] += lanesByTrack[tr]
+	}
+
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "{\"displayTimeUnit\":\"ns\",\"otherData\":{\"clockGHz\":%s,\"droppedEvents\":%d},\"traceEvents\":[\n",
+		strconv.FormatFloat(ghz, 'f', 3, 64), t.Dropped())
+
+	first := true
+	emit := func(format string, args ...interface{}) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		fmt.Fprintf(bw, format, args...)
+	}
+
+	// Metadata: process names, then one thread name per track lane, in
+	// track order so the file diff stays local when tracks change.
+	for _, pid := range []int{pidCores, pidRamps, pidSegments, pidBanks} {
+		used := false
+		for _, tr := range tracks {
+			if tr.pid() == pid {
+				used = true
+				break
+			}
+		}
+		if !used {
+			continue
+		}
+		emit(`{"ph":"M","pid":%d,"name":"process_name","args":{"name":%s}}`,
+			pid, strconv.Quote(processNames[pid]))
+	}
+	for _, tr := range tracks {
+		name := t.trackName(tr)
+		for lane := 0; lane < lanesByTrack[tr]; lane++ {
+			ln := name
+			if lane > 0 {
+				ln = fmt.Sprintf("%s +%d", name, lane)
+			}
+			emit(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_name","args":{"name":%s}}`,
+				tr.pid(), tidOf[tr]+lane, strconv.Quote(ln))
+			// sort_index keeps lanes in enumeration order; Perfetto
+			// otherwise sorts threads by first event time.
+			emit(`{"ph":"M","pid":%d,"tid":%d,"name":"thread_sort_index","args":{"sort_index":%d}}`,
+				tr.pid(), tidOf[tr]+lane, tidOf[tr]+lane)
+		}
+	}
+
+	for _, tr := range tracks {
+		pid := tr.pid()
+		for _, ref := range byTrack[tr] {
+			ev := events[ref.idx]
+			tid := tidOf[tr] + ref.lane
+			ts := usec(int64(ev.Start), ghz)
+			switch ev.Kind {
+			case KindCounter:
+				emit(`{"ph":"C","pid":%d,"name":%s,"ts":%s,"args":{"value":%d}}`,
+					pid, strconv.Quote(t.trackName(tr)), ts, ev.A)
+				continue
+			}
+			dur := usec(int64(ev.End-ev.Start), ghz)
+			switch ev.Kind {
+			case KindDMA:
+				emit(`{"ph":"X","pid":%d,"tid":%d,"name":"dma %dB tag %d","cat":"dma","ts":%s,"dur":%s,"args":{"bytes":%d,"tag":%d,"cmd":%d,"first_packet_cycle":%d}}`,
+					pid, tid, ev.A, ev.B, ts, dur, ev.A, ev.B, ev.C, ev.D)
+			case KindTag:
+				emit(`{"ph":"X","pid":%d,"tid":%d,"name":"tag %d","cat":"dma","ts":%s,"dur":%s,"args":{"tag":%d}}`,
+					pid, tid, ev.A, ts, dur, ev.A)
+			case KindTransfer:
+				emit(`{"ph":"X","pid":%d,"tid":%d,"name":"%dB ring %d to ramp %d","cat":"eib","ts":%s,"dur":%s,"args":{"bytes":%d,"ring":%d,"dst":%d,"wait_cycles":%d}}`,
+					pid, tid, ev.A, ev.B, ev.C, ts, dur, ev.A, ev.B, ev.C, ev.D)
+			case KindSegment:
+				emit(`{"ph":"X","pid":%d,"tid":%d,"name":"%dB %d to %d","cat":"seg","ts":%s,"dur":%s,"args":{"bytes":%d,"src":%d,"dst":%d}}`,
+					pid, tid, ev.A, ev.B, ev.C, ts, dur, ev.A, ev.B, ev.C)
+			case KindBank:
+				op := "read"
+				if ev.B != 0 {
+					op = "write"
+				}
+				emit(`{"ph":"X","pid":%d,"tid":%d,"name":"%s %dB","cat":"xdr","ts":%s,"dur":%s,"args":{"bytes":%d,"write":%d}}`,
+					pid, tid, op, ev.A, ts, dur, ev.A, ev.B)
+			case KindFill:
+				emit(`{"ph":"X","pid":%d,"tid":%d,"name":"fill 0x%x","cat":"ppe","ts":%s,"dur":%s,"args":{"line":%d,"store":%d}}`,
+					pid, tid, ev.A, ts, dur, ev.A, ev.B)
+			default:
+				emit(`{"ph":"X","pid":%d,"tid":%d,"name":%s,"ts":%s,"dur":%s,"args":{"a":%d,"b":%d,"c":%d,"d":%d}}`,
+					pid, tid, strconv.Quote(ev.Kind.String()), ts, dur, ev.A, ev.B, ev.C, ev.D)
+			}
+		}
+	}
+
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}

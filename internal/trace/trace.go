@@ -1,0 +1,304 @@
+// Package trace is the simulator's cycle-resolved observability layer: a
+// fixed-capacity ring buffer of typed span/instant events recorded by the
+// hardware models (MFC DMA commands, EIB transfers and ring-segment
+// reservations, XDR bank busy windows, PPE line fills and miss-queue
+// occupancy), a Chrome-trace-event/Perfetto JSON exporter, and a periodic
+// metrics sampler producing utilization timeseries.
+//
+// Tracing follows the fault package's nil-safe discipline: every model
+// component holds a *Tracer that is nil unless the caller opted in via
+// cell.System.SetTracer, and every Tracer method has a nil-receiver fast
+// path. The allocation-free simulation hot paths are therefore untouched
+// when tracing is off (guarded by the BenchmarkEIBSaturated allocs/op
+// baseline in BENCH_eib.json).
+//
+// The package depends only on internal/sim, so every hardware model can
+// import it without cycles.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cellbe/internal/sim"
+)
+
+// Kind is the type of a recorded event.
+type Kind uint8
+
+// Event kinds. Spans carry [Start, End); counters are instants whose value
+// rides in A.
+const (
+	// KindDMA is one MFC DMA command's lifetime: enqueue to completion.
+	// A=payload bytes, B=tag group, C=mfc.Kind, D=cycle the first bus
+	// packet was issued (the queued->active transition).
+	KindDMA Kind = iota
+	// KindTag is one tag group's busy lifetime on one MFC: from the first
+	// command enqueued into an idle group until the group drains. A=tag.
+	KindTag
+	// KindTransfer is one EIB data transfer's source-port reservation.
+	// A=bytes, B=granted ring, C=destination ramp, D=wait cycles beyond
+	// the earliest eligible start.
+	KindTransfer
+	// KindSegment is one ring-segment reservation along a transfer's path.
+	// A=bytes, B=source ramp, C=destination ramp.
+	KindSegment
+	// KindBank is one XDR bank (or IOIF link) busy window serving a line
+	// request. A=bytes, B=0 for read, 1 for write.
+	KindBank
+	// KindFill is one PPE L2 line fill, from miss issue to data arrival.
+	// A=line address, B=1 when fetched for store (RFO).
+	KindFill
+	// KindCounter is an instantaneous counter sample (Start==End); the
+	// value is A. Used for the PPE miss-queue occupancy.
+	KindCounter
+
+	numKinds
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindDMA:
+		return "dma"
+	case KindTag:
+		return "tag"
+	case KindTransfer:
+		return "transfer"
+	case KindSegment:
+		return "segment"
+	case KindBank:
+		return "bank"
+	case KindFill:
+		return "fill"
+	case KindCounter:
+		return "counter"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Mask selects which event kinds a Tracer records.
+type Mask uint32
+
+// MaskAll records every event kind.
+const MaskAll Mask = 1<<numKinds - 1
+
+// Has reports whether the mask includes kind k.
+func (m Mask) Has(k Kind) bool { return m&(1<<k) != 0 }
+
+// filterCategories maps -trace-filter names to kind sets. Categories
+// follow the component boundary, not the kind boundary: "dma" covers both
+// command spans and tag-group spans, "ppe" both fills and the miss-queue
+// counter.
+var filterCategories = map[string]Mask{
+	"dma": 1<<KindDMA | 1<<KindTag,
+	"eib": 1 << KindTransfer,
+	"seg": 1 << KindSegment,
+	"xdr": 1 << KindBank,
+	"ppe": 1<<KindFill | 1<<KindCounter,
+	"all": MaskAll,
+}
+
+// FilterNames returns the accepted -trace-filter category names.
+func FilterNames() []string {
+	names := make([]string, 0, len(filterCategories))
+	for n := range filterCategories {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ParseFilter turns a comma-separated category list ("dma,eib,seg") into a
+// recording mask. An empty spec means everything.
+func ParseFilter(spec string) (Mask, error) {
+	if strings.TrimSpace(spec) == "" {
+		return MaskAll, nil
+	}
+	var m Mask
+	for _, f := range strings.Split(spec, ",") {
+		cat, ok := filterCategories[strings.TrimSpace(f)]
+		if !ok {
+			return 0, fmt.Errorf("trace: unknown filter %q (want a comma list of %s)",
+				strings.TrimSpace(f), strings.Join(FilterNames(), ", "))
+		}
+		m |= cat
+	}
+	return m, nil
+}
+
+// Track identifies the component lane an event belongs to. The encoding is
+// class<<16 | a<<8 | b; use the constructors, not the raw value.
+type Track int32
+
+const (
+	classPPE = iota
+	classMFC
+	classTags
+	classRamp
+	classSegment
+	classBank
+	classCounter
+)
+
+// TrackPPE is the PPE core track (line-fill spans).
+const TrackPPE Track = classPPE << 16
+
+// TrackPPEMissQ is the PPE L2 miss-queue occupancy counter.
+const TrackPPEMissQ Track = classCounter << 16
+
+// MFCTrack returns the DMA-command track of logical SPE i's MFC.
+func MFCTrack(spe int) Track { return classMFC<<16 | Track(spe)<<8 }
+
+// TagTrack returns the tag-group lifetime track of logical SPE i's MFC.
+func TagTrack(spe int) Track { return classTags<<16 | Track(spe)<<8 }
+
+// RampTrack returns the EIB data-out port track of ramp r.
+func RampTrack(r int) Track { return classRamp<<16 | Track(r)<<8 }
+
+// SegTrack returns the reservation track of ring ring's segment seg.
+func SegTrack(ring, seg int) Track { return classSegment<<16 | Track(ring)<<8 | Track(seg) }
+
+// BankTrack returns the busy track of XDR bank b (0 local, 1 remote).
+func BankTrack(b int) Track { return classBank<<16 | Track(b)<<8 }
+
+func (t Track) class() int { return int(t >> 16) }
+
+// Event is one recorded span (Start <= End) or instant (Start == End).
+// The meaning of A..D depends on Kind.
+type Event struct {
+	Start, End sim.Time
+	Track      Track
+	Kind       Kind
+	A, B, C, D int64
+}
+
+// Tracer records events into a fixed-capacity ring buffer, keeping the
+// most recent when full. The zero *Tracer (nil) is a valid, disabled
+// tracer: every method no-ops, so models emit unconditionally through
+// possibly-nil fields, exactly like fault.Injector.
+type Tracer struct {
+	mask     Mask
+	buf      []Event
+	next     int
+	full     bool
+	dropped  int64
+	clockGHz float64
+	names    map[Track]string
+}
+
+// New returns a tracer retaining up to capacity events of the kinds in
+// mask. Panics on a non-positive capacity: a tracer that cannot hold
+// anything is a configuration error, not a useful object.
+func New(capacity int, mask Mask) *Tracer {
+	if capacity <= 0 {
+		panic("trace: capacity must be positive")
+	}
+	return &Tracer{
+		mask:     mask,
+		buf:      make([]Event, 0, capacity),
+		clockGHz: 1,
+		names:    make(map[Track]string),
+	}
+}
+
+// Enabled reports whether events of kind k are being recorded. Callers on
+// hot paths use it to skip argument preparation (e.g. the per-segment
+// emission loop) when the kind is filtered out.
+func (t *Tracer) Enabled(k Kind) bool { return t != nil && t.mask.Has(k) }
+
+// Emit records one event. Nil-safe and allocation-free after the ring
+// buffer reaches capacity (the backing array is preallocated by New).
+func (t *Tracer) Emit(track Track, k Kind, start, end sim.Time, a, b, c, d int64) {
+	if t == nil || !t.mask.Has(k) {
+		return
+	}
+	ev := Event{Start: start, End: end, Track: track, Kind: k, A: a, B: b, C: c, D: d}
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, ev)
+		return
+	}
+	t.buf[t.next] = ev
+	t.next = (t.next + 1) % cap(t.buf)
+	t.full = true
+	t.dropped++
+}
+
+// Counter records an instantaneous counter sample.
+func (t *Tracer) Counter(track Track, at sim.Time, value int64) {
+	t.Emit(track, KindCounter, at, at, value, 0, 0, 0)
+}
+
+// Len returns the number of retained events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.buf)
+}
+
+// Dropped returns how many events were overwritten because the ring buffer
+// was full. The exporter surfaces it so a truncated trace is never
+// mistaken for a complete one.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// Events returns the retained events, oldest first.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	if !t.full {
+		return append([]Event(nil), t.buf...)
+	}
+	out := make([]Event, 0, len(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	out = append(out, t.buf[:t.next]...)
+	return out
+}
+
+// SetClock sets the CPU clock used to convert cycle timestamps to the
+// microseconds of the Chrome trace format. Wired by cell.System.SetTracer.
+func (t *Tracer) SetClock(ghz float64) {
+	if t == nil || ghz <= 0 {
+		return
+	}
+	t.clockGHz = ghz
+}
+
+// SetTrackName attaches a display name to a track for the exporter.
+// Unnamed tracks fall back to a generic class/index label.
+func (t *Tracer) SetTrackName(track Track, name string) {
+	if t == nil {
+		return
+	}
+	t.names[track] = name
+}
+
+// trackName returns the display name of a track.
+func (t *Tracer) trackName(track Track) string {
+	if n, ok := t.names[track]; ok {
+		return n
+	}
+	switch track.class() {
+	case classPPE:
+		return "PPE"
+	case classMFC:
+		return fmt.Sprintf("SPE%d MFC", int(track>>8)&0xff)
+	case classTags:
+		return fmt.Sprintf("SPE%d tags", int(track>>8)&0xff)
+	case classRamp:
+		return fmt.Sprintf("ramp %d", int(track>>8)&0xff)
+	case classSegment:
+		return fmt.Sprintf("ring%d seg%d", int(track>>8)&0xff, int(track)&0xff)
+	case classBank:
+		return fmt.Sprintf("bank %d", int(track>>8)&0xff)
+	case classCounter:
+		return "PPE miss queue"
+	}
+	return fmt.Sprintf("track %d", int(track))
+}

@@ -19,6 +19,7 @@ import (
 	"cellbe/internal/eib"
 	"cellbe/internal/fault"
 	"cellbe/internal/sim"
+	"cellbe/internal/trace"
 )
 
 // LineBytes is the coherence/DMA granularity: requests never cross a
@@ -110,6 +111,8 @@ type bank struct {
 	lastOp      opKind
 	cfg         *Config
 	faults      *fault.Injector
+	tracer      *trace.Tracer
+	track       trace.Track
 	service     sim.Time
 	nextRefresh sim.Time
 	nextNoise   sim.Time
@@ -142,6 +145,16 @@ type Memory struct {
 func (m *Memory) SetFaults(inj *fault.Injector) {
 	for _, b := range m.banks {
 		b.faults = inj
+	}
+}
+
+// SetTracer attaches an event tracer to both banks (nil disables tracing,
+// the default). Wired by the cell package at system assembly, like
+// SetFaults.
+func (m *Memory) SetTracer(tr *trace.Tracer) {
+	for i, b := range m.banks {
+		b.tracer = tr
+		b.track = trace.BankTrack(i)
 	}
 }
 
@@ -264,7 +277,7 @@ func (m *Memory) checkSpan(addr int64, n int) {
 	}
 }
 
-func (b *bank) occupy(kind opKind, eng *sim.Engine, turn sim.Time, done func(end sim.Time)) {
+func (b *bank) occupy(kind opKind, eng *sim.Engine, turn sim.Time, n int, done func(end sim.Time)) {
 	b.applyRefresh(eng.Now())
 	b.applyNoise(eng.Now())
 	// Injected bank-busy stall: like a refresh collision, the bank is
@@ -279,7 +292,10 @@ func (b *bank) occupy(kind opKind, eng *sim.Engine, turn sim.Time, done func(end
 		b.lastOp = kind
 	}
 	b.stats.Requests++
-	b.srv.Request(dur, func(start sim.Time) { done(eng.Now()) })
+	b.srv.Request(dur, func(start sim.Time) {
+		b.tracer.Emit(b.track, trace.KindBank, start, eng.Now(), int64(n), int64(kind), 0, 0)
+		done(eng.Now())
+	})
 }
 
 // Read performs a line read: command phase on the EIB, bank occupancy,
@@ -296,7 +312,7 @@ func (m *Memory) Read(requestor eib.RampID, addr int64, n int, earliest sim.Time
 	}
 	ready := m.bus.Command(earliest)
 	m.eng.At(ready, func() {
-		bk.occupy(opRead, m.eng, m.cfg.TurnaroundCycles, func(svcEnd sim.Time) {
+		bk.occupy(opRead, m.eng, m.cfg.TurnaroundCycles, n, func(svcEnd sim.Time) {
 			bk.stats.ReadBytes += int64(n)
 			m.bus.Transfer(ramp, requestor, n, svcEnd+lat, func(end sim.Time) {
 				if dst != nil {
@@ -323,7 +339,7 @@ func (m *Memory) Write(requestor eib.RampID, addr int64, n int, earliest sim.Tim
 	ready := m.bus.Command(earliest)
 	m.eng.At(ready, func() {
 		m.bus.Transfer(requestor, ramp, n, m.eng.Now(), func(xferEnd sim.Time) {
-			bk.occupy(opWrite, m.eng, m.cfg.TurnaroundCycles, func(svcEnd sim.Time) {
+			bk.occupy(opWrite, m.eng, m.cfg.TurnaroundCycles, n, func(svcEnd sim.Time) {
 				if src != nil {
 					m.ram.Write(addr, src[:n])
 				}
