@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"cellbe/internal/cell"
+	"cellbe/internal/sim"
 )
 
 func TestEIBSaturatedAllocGuard(t *testing.T) {
@@ -47,6 +48,44 @@ func TestEIBSaturatedAllocGuard(t *testing.T) {
 	limit := baseline*1.02 + 16
 	if perOp > limit {
 		t.Fatalf("untraced saturated run allocates %.0f allocs/op, baseline %.0f (limit %.0f): tracing hooks are no longer free when off",
+			perOp, baseline, limit)
+	}
+}
+
+// TestEngineAllocGuard pins the scheduler's own allocation budget: one
+// warmed EventChurn op (BenchmarkEngine's workload) must stay at the
+// handful of allocations the BENCH_eib.json baseline recorded — the
+// process spawn plus rare wheel-bucket first touches. Wheel scheduling,
+// same-cycle dispatch and process wakeups themselves must contribute
+// nothing, so even a single new allocation on a per-event path trips this
+// immediately (an op fires ~2k events).
+func TestEngineAllocGuard(t *testing.T) {
+	data, err := os.ReadFile("BENCH_eib.json")
+	if err != nil {
+		t.Skipf("no baseline: %v (regenerate with go test ./internal/sim -bench Engine)", err)
+	}
+	var all map[string]map[string]float64
+	if err := json.Unmarshal(data, &all); err != nil {
+		t.Fatalf("unparsable BENCH_eib.json: %v", err)
+	}
+	baseline, ok := all["Engine"]["allocs/op"]
+	if !ok {
+		t.Skip("baseline has no Engine allocs/op entry")
+	}
+
+	// Warm until the wheel reaches steady state. Bucket backings are
+	// allocated on first touch and retained, and the churn's far events walk
+	// a new higher-level bucket index every op, so it takes a full 64-index
+	// lap (not one op) before scheduling stops faulting in fresh backings —
+	// the benchmark baseline was likewise recorded after thousands of ops.
+	e := sim.NewEngine()
+	for i := 0; i < 64; i++ {
+		sim.EventChurn(e, sim.ChurnRounds)
+	}
+	perOp := testing.AllocsPerRun(10, func() { sim.EventChurn(e, sim.ChurnRounds) })
+	limit := baseline + 8
+	if perOp > limit {
+		t.Fatalf("engine churn allocates %.1f allocs/op, baseline %.0f (limit %.0f): a scheduler hot path started allocating",
 			perOp, baseline, limit)
 	}
 }

@@ -53,7 +53,7 @@ func (f *fabric) ReadLocked(owner int, ea int64, earliest sim.Time, dst []byte, 
 	sys.Mem.Read(f.ramp, ea, xdr.LineBytes, earliest, dst, func(end sim.Time) {
 		sys.resv.place(owner, lineOf(ea))
 		fin := end + atomicLatency
-		sys.Eng.At(fin, func() { done(fin) })
+		sys.Eng.AtCall(fin, done, fin)
 	})
 }
 

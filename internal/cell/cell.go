@@ -109,6 +109,7 @@ type System struct {
 	rem       *remoteChip
 	faults    *fault.Injector
 	tracer    *trace.Tracer
+	pktFree   *pktDone // free list of packet completion records (engine is single-threaded)
 }
 
 // New builds a system from cfg.
@@ -391,11 +392,75 @@ func (s *System) SignalEA(logical, reg int) int64 {
 	return s.cfg.LSBase + int64(logical)*s.cfg.LSSpan + spe.SNROffset + int64(4*reg)
 }
 
+// Release returns the system's recyclable buffers (the SPE local stores)
+// to their allocation pools. The caller promises the system is dead: no
+// further Run, scenario or inspection call may follow. Batch drivers that
+// build one System per point (sweeps) call this to keep GC pressure flat;
+// everyone else can simply drop the System.
+func (s *System) Release() {
+	for _, sp := range s.SPEs {
+		sp.Release()
+	}
+}
+
 // fabric routes one SPE's DMA line requests: to main memory via the
 // MIC/IOIF, or to another SPE's memory-mapped local store.
 type fabric struct {
 	sys  *System
 	ramp eib.RampID
+}
+
+// pktDone is a pooled completion record for one DMA packet routed to a
+// local-store target: the context the fabric's per-packet closures used
+// to capture, made reusable so the LS-to-LS packet hot path schedules
+// through eib.TransferCB (see sim.Callee) without allocating. Records
+// recycle through a free list on System — the engine is single-threaded,
+// so no locking — and are released before the completion callback runs,
+// ready for the MFC pump's immediate next packet.
+type pktDone struct {
+	sys    *System
+	target *spe.SPE
+	buf    []byte // requester-side packet buffer: dst for reads, src for writes; may be nil
+	off    int    // target LS offset
+	n      int
+	write  bool
+	done   func(end sim.Time)
+	next   *pktDone // free-list link
+}
+
+func (s *System) getPkt() *pktDone {
+	p := s.pktFree
+	if p == nil {
+		return &pktDone{sys: s}
+	}
+	s.pktFree = p.next
+	return p
+}
+
+// Call performs the local-store side effect of the completed packet, then
+// releases the record and invokes the caller's completion. Release comes
+// first because done may schedule the next packet synchronously and should
+// find this record back on the free list.
+func (p *pktDone) Call(end sim.Time) {
+	if p.write {
+		if p.off >= spe.SNROffset {
+			// A 4-byte store landing on a signal notification register
+			// ORs into it.
+			if p.n == 4 && p.buf != nil {
+				reg := (p.off - spe.SNROffset) / 4
+				v := uint32(p.buf[0]) | uint32(p.buf[1])<<8 | uint32(p.buf[2])<<16 | uint32(p.buf[3])<<24
+				p.target.WriteSignal(reg, v)
+			}
+		} else if p.buf != nil {
+			copy(p.target.LS()[p.off:p.off+p.n], p.buf[:p.n])
+		}
+	} else if p.buf != nil {
+		copy(p.buf, p.target.LS()[p.off:p.off+p.n])
+	}
+	sys, done := p.sys, p.done
+	*p = pktDone{sys: sys, next: sys.pktFree}
+	sys.pktFree = p
+	done(end)
 }
 
 func (f *fabric) ReadEA(ea int64, n int, earliest sim.Time, dst []byte, done func(end sim.Time)) {
@@ -407,12 +472,9 @@ func (f *fabric) ReadEA(ea int64, n int, earliest sim.Time, dst []byte, done fun
 	if logical, off, ok := sys.resolveLS(ea); ok {
 		target := sys.SPEs[logical]
 		ready := sys.Bus.Command(earliest)
-		sys.Bus.Transfer(target.Ramp(), f.ramp, n, ready, func(end sim.Time) {
-			if dst != nil {
-				copy(dst, target.LS()[off:off+n])
-			}
-			done(end)
-		})
+		p := sys.getPkt()
+		p.target, p.buf, p.off, p.n, p.write, p.done = target, dst, off, n, false, done
+		sys.Bus.TransferCB(target.Ramp(), f.ramp, n, ready, p)
 		return
 	}
 	sys.Mem.Read(f.ramp, ea, n, earliest, dst, done)
@@ -427,20 +489,9 @@ func (f *fabric) WriteEA(ea int64, n int, earliest sim.Time, src []byte, done fu
 	if logical, off, ok := sys.resolveLS(ea); ok {
 		target := sys.SPEs[logical]
 		ready := sys.Bus.Command(earliest)
-		sys.Bus.Transfer(f.ramp, target.Ramp(), n, ready, func(end sim.Time) {
-			if off >= spe.SNROffset {
-				// A 4-byte store landing on a signal notification
-				// register ORs into it.
-				if n == 4 && src != nil {
-					reg := (off - spe.SNROffset) / 4
-					v := uint32(src[0]) | uint32(src[1])<<8 | uint32(src[2])<<16 | uint32(src[3])<<24
-					target.WriteSignal(reg, v)
-				}
-			} else if src != nil {
-				copy(target.LS()[off:off+n], src[:n])
-			}
-			done(end)
-		})
+		p := sys.getPkt()
+		p.target, p.buf, p.off, p.n, p.write, p.done = target, src, off, n, true, done
+		sys.Bus.TransferCB(f.ramp, target.Ramp(), n, ready, p)
 		return
 	}
 	// Any store to a line kills reservations on it (coherence point).

@@ -150,7 +150,12 @@ func RunSweep(spec SweepSpec) ([]SweepResult, error) {
 			cfg.FaultSeed = pt.seed
 		}
 		sys := cell.New(cfg)
-		if spec.Instrument != nil {
+		if spec.Instrument == nil {
+			// The system dies with this point, so recycle its buffers.
+			// Instrumented points opt out: the hook may retain the system
+			// (tracers, samplers) past the point's lifetime.
+			defer sys.Release()
+		} else {
 			spec.Instrument(pt.chunk, pt.seed, sys)
 		}
 		total, err := spec.scenario(pt.chunk).Install(sys)

@@ -195,11 +195,13 @@ type EIB struct {
 	// cmdNextTenths is the command bus pacing cursor in tenths of a
 	// cycle (fixed point, so fractional intervals pace exactly).
 	cmdNextTenths int64
-	faults        *fault.Injector
-	tracer        *trace.Tracer
-	stats         Stats
-	trace         []TransferRecord
-	traceNext     int
+	// pruneTick counts ring transfers to amortize timeline pruning.
+	pruneTick uint32
+	faults    *fault.Injector
+	tracer    *trace.Tracer
+	stats     Stats
+	trace     []TransferRecord
+	traceNext int
 }
 
 // SetFaults attaches a fault injector (nil disables injection). Wired by
@@ -286,6 +288,18 @@ func Hops(src, dst RampID, d Direction) int {
 // slices as read-only.
 var pathTable [2][NumRamps][NumRamps][]int
 
+// route is the precomputed routing decision for one (direction, src, dst)
+// triple: whether the direction is eligible (<= 6 hops), the path length,
+// and the segments travelled. Transfer consults it per candidate ring, so
+// it folds the Hops modular arithmetic and the path lookup into one load.
+type route struct {
+	segs []int
+	hops int
+	ok   bool
+}
+
+var routeTable [2][NumRamps][NumRamps]route
+
 func init() {
 	// Total segments: for each direction, sum of hop counts over all
 	// src/dst pairs. One flat array keeps the table cache-friendly.
@@ -315,6 +329,18 @@ func init() {
 			}
 		}
 	}
+	for _, d := range []Direction{Clockwise, Counterclockwise} {
+		for src := 0; src < NumRamps; src++ {
+			for dst := 0; dst < NumRamps; dst++ {
+				hops := Hops(RampID(src), RampID(dst), d)
+				routeTable[d][src][dst] = route{
+					segs: pathTable[d][src][dst],
+					hops: hops,
+					ok:   src != dst && hops <= NumRamps/2,
+				}
+			}
+		}
+	}
 }
 
 // pathSegments returns the segment indices used travelling from src to dst
@@ -338,12 +364,57 @@ func (e *EIB) Command(earliest sim.Time) sim.Time {
 	return grant + e.cfg.CmdLatency
 }
 
+// portsFit converges the source-out and destination-in port constraints
+// to their joint fixed point at or after start: the earliest time both
+// ports are free for dur cycles. oIdx/iIdx are resume floors from earlier
+// calls against the same (unmutated) timelines at a time at or below
+// start; the returned indices are the settle positions for the returned
+// time, valid as resume floors for later calls and as insertion points
+// for reserveIdx.
+func (e *EIB) portsFit(src, dst RampID, start, dur sim.Time, oIdx, iIdx int) (sim.Time, int, int) {
+	out, in := &e.out[src], &e.in[dst]
+	for {
+		f, oi, ok := out.tailFitNoGap(start)
+		if !ok {
+			f, oi = out.earliestFitFromNoGap(oIdx, start, dur)
+		}
+		oIdx = oi
+		g, ii, ok := in.tailFitNoGap(f)
+		if !ok {
+			g, ii = in.earliestFitFromNoGap(iIdx, f, dur)
+		}
+		iIdx = ii
+		if g == start {
+			return start, oIdx, iIdx
+		}
+		start = g
+	}
+}
+
 // Transfer schedules a data-ring transfer of the given size from src to
 // dst, starting no earlier than earliest. done is invoked at the simulated
 // time the last beat arrives at dst. Transfers between a ramp and itself
 // (LS-to-LS within one SPE, handled locally) complete after the pure beat
 // time without touching the rings.
 func (e *EIB) Transfer(src, dst RampID, bytes int, earliest sim.Time, done func(end sim.Time)) {
+	end := e.transfer(src, dst, bytes, earliest)
+	e.eng.AtCall(end, done, end)
+}
+
+// TransferCB is Transfer with a prebound completion record in place of the
+// callback: cb.Call(end) fires at the same simulated time, in the same
+// event order, as Transfer's done(end) would (the completion event is
+// sequenced at the same program point either way). It exists for per-packet
+// hot paths that pool their completion records to avoid closure allocation.
+func (e *EIB) TransferCB(src, dst RampID, bytes int, earliest sim.Time, cb sim.Callee) {
+	end := e.transfer(src, dst, bytes, earliest)
+	e.eng.AtCallee(end, cb, end)
+}
+
+// transfer books the transfer on the timetable and returns the completion
+// time; the exported wrappers differ only in how they schedule the
+// completion callback.
+func (e *EIB) transfer(src, dst RampID, bytes int, earliest sim.Time) sim.Time {
 	if bytes <= 0 {
 		panic("eib: transfer of zero bytes")
 	}
@@ -365,14 +436,10 @@ func (e *EIB) Transfer(src, dst RampID, bytes int, earliest sim.Time, done func(
 		e.record(TransferRecord{Issued: e.eng.Now(), Start: earliest, End: end, Src: src, Dst: dst, Bytes: bytes, Ring: -1})
 		e.tracer.Emit(trace.RampTrack(int(src)), trace.KindTransfer,
 			earliest, end, int64(bytes), -1, int64(dst), 0)
-		e.eng.AtCall(end, done, end)
-		return
+		return end
 	}
 
-	// Prune stale intervals: nothing before now can matter again.
 	now := e.eng.Now()
-	e.out[src].prune(now)
-	e.in[dst].prune(now)
 	flow := int32(src)<<8 | int32(dst)
 
 	// Injected ring-arbitration faults: a slowdown delays this transfer's
@@ -386,44 +453,84 @@ func (e *EIB) Transfer(src, dst RampID, bytes int, earliest sim.Time, done func(
 		outage = e.faults.EIBOutage(len(e.rings))
 	}
 
+	// Ring-independent prepass: converge the source and destination port
+	// constraints once. Every candidate ring's grant loop resumes from
+	// this lower bound — the per-ring fixed point is at or above it, and
+	// iterating a monotone constraint map from any point below its least
+	// fixed point converges to the same fixed point, so the grant time is
+	// bit-identical to starting each ring from earliest.
+	start0, outIdx, inIdx := e.portsFit(src, dst, earliest, dur, 0, 0)
+
 	// Candidate rings: those whose direction reaches dst in <= 6 hops.
 	// For each, find the earliest instant at which the source port, the
 	// destination port and every path segment are simultaneously free
 	// for the whole duration (iterated first-fit across the resources).
+	// Settle indices from each earliestFitFrom call feed the next
+	// iteration as exact resume floors, and the winning ring's final
+	// indices feed reserveIdx, so no resource is ever searched twice.
 	bestRing := -1
 	var bestStart sim.Time
 	var bestSegs []int
+	var bestOutIdx, bestInIdx int
+	var segIdx, bestSegIdx [NumRamps / 2]int
+rings:
 	for ri := range e.rings {
 		r := &e.rings[ri]
 		if ri == outage {
 			continue
 		}
-		hops := Hops(src, dst, r.dir)
-		if hops > NumRamps/2 {
+		rt := &routeTable[r.dir][src][dst]
+		if !rt.ok {
 			continue
 		}
-		segs := pathSegments(src, dst, r.dir)
-		for _, s := range segs {
-			r.seg[s].prune(now)
+		segs := rt.segs
+		start := start0
+		oIdx, iIdx := outIdx, inIdx
+		for k := range segs {
+			segIdx[k] = 0
 		}
-		start := earliest
 		for {
-			next := e.out[src].earliestFit(start, dur, flow, 0)
-			if f := e.in[dst].earliestFit(next, dur, flow, 0); f > next {
-				next = f
-			}
-			for _, s := range segs {
-				if f := r.seg[s].earliestFit(next, dur, flow, e.cfg.RingDeadCycles); f > next {
+			// Segments first: the ports are known-satisfied at start (the
+			// prepass pins start0; later iterations re-verify below), so
+			// in the common uncontended case a ring costs one pass over
+			// its path segments and the ports are never searched again.
+			next := start
+			for k, s := range segs {
+				f, si, ok := r.seg[s].tailFit(next, flow, e.cfg.RingDeadCycles)
+				if !ok {
+					f, si = r.seg[s].earliestFitFrom(segIdx[k], next, dur, flow, e.cfg.RingDeadCycles)
+				}
+				segIdx[k] = si
+				if f > next {
 					next = f
 				}
 			}
 			if next == start {
 				break
 			}
-			start = next
+			// The grant bound only ever moves later, so once it reaches
+			// the best ring so far this ring is out of the running (ties
+			// go to the earliest ring index, which the best ring holds).
+			if bestRing != -1 && next >= bestStart {
+				continue rings
+			}
+			// A segment pushed the grant: re-converge the ports at the
+			// pushed time before trusting it. The loop then re-verifies
+			// the segments at the ports' fixed point, so a break only
+			// happens with every constraint checked at start.
+			start, oIdx, iIdx = e.portsFit(src, dst, next, dur, oIdx, iIdx)
+			if bestRing != -1 && start >= bestStart {
+				continue rings
+			}
 		}
 		if bestRing == -1 || start < bestStart {
 			bestRing, bestStart, bestSegs = ri, start, segs
+			bestOutIdx, bestInIdx, bestSegIdx = oIdx, iIdx, segIdx
+			if bestStart == start0 {
+				// No later ring can improve on the port-constrained lower
+				// bound, and ties go to the earliest ring index anyway.
+				break
+			}
 		}
 	}
 	if bestRing == -1 {
@@ -431,15 +538,30 @@ func (e *EIB) Transfer(src, dst RampID, bytes int, earliest sim.Time, done func(
 	}
 
 	r := &e.rings[bestRing]
-	for _, s := range bestSegs {
-		r.seg[s].reserve(bestStart, dur, flow)
+	for k, s := range bestSegs {
+		r.seg[s].reserveIdx(bestSegIdx[k], bestStart, dur, flow)
 	}
-	e.out[src].reserve(bestStart, dur, flow)
-	e.in[dst].reserve(bestStart, dur, flow)
+	e.out[src].reserveIdx(bestOutIdx, bestStart, dur, flow)
+	e.in[dst].reserveIdx(bestInIdx, bestStart, dur, flow)
+
+	// Prune stale intervals after reserving, and only on the resources
+	// that were reserved: a timeline only accumulates intervals through
+	// reserve, so pruning winners bounds every timeline, while the search
+	// above skips expired intervals via its binary-searched bound at the
+	// same cost either way. (Grant times are unaffected: stale intervals
+	// end at or before now <= earliest and can never push a fit.) The
+	// pass is further amortized over transfers — every eighth is plenty
+	// to keep the dead prefixes bounded.
+	if e.pruneTick++; e.pruneTick&7 == 0 {
+		for _, s := range bestSegs {
+			r.seg[s].prune(now)
+		}
+		e.out[src].prune(now)
+		e.in[dst].prune(now)
+	}
 
 	// The last beat arrives after the pipeline drains through the hops.
-	hops := Hops(src, dst, r.dir)
-	end := bestStart + dur + sim.Time(hops)*e.cfg.BusPeriod
+	end := bestStart + dur + sim.Time(routeTable[r.dir][src][dst].hops)*e.cfg.BusPeriod
 
 	e.stats.Transfers++
 	e.stats.Bytes += int64(bytes)
@@ -463,5 +585,5 @@ func (e *EIB) Transfer(src, dst RampID, bytes int, earliest sim.Time, done func(
 		}
 	}
 
-	e.eng.AtCall(end, done, end)
+	return end
 }

@@ -46,29 +46,22 @@ const compactAt = 32
 // live returns the live (not yet pruned) intervals, sorted and disjoint.
 func (t *timeline) live() []interval { return t.iv[t.head:] }
 
-// search returns the index (relative to the live window) of the first
-// live interval whose end is after t. Intervals are disjoint and sorted
-// by start, so ends are sorted too and the bound is binary-searchable.
-func (t *timeline) search(after sim.Time) int {
-	live := t.iv[t.head:]
-	lo, hi := 0, len(live)
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if live[mid].e <= after {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return lo
-}
-
 // prune discards intervals that ended at or before now; they can never
 // affect a future reservation because earliest >= now always holds.
 // The most recent pruned interval is kept so switching gaps against the
 // immediately preceding transfer remain visible.
+//
+// The walk is linear rather than binary-searched: successive calls see
+// nondecreasing now, so each interval is stepped over once in its
+// lifetime — amortized O(1) per call, where a binary search would pay
+// O(log live) every call whether or not anything expired.
 func (t *timeline) prune(now sim.Time) {
-	if i := t.search(now); i > 1 {
+	live := t.iv[t.head:]
+	i := 0
+	for i < len(live) && live[i].e <= now {
+		i++
+	}
+	if i > 1 {
 		t.head += i - 1
 	}
 	if t.head >= compactAt && 2*t.head >= len(t.iv) {
@@ -82,15 +75,65 @@ func (t *timeline) prune(now sim.Time) {
 // dur fits, paying a switching gap of gap cycles against any neighbouring
 // interval of a different owner.
 func (t *timeline) earliestFit(earliest, dur sim.Time, owner int32, gap sim.Time) sim.Time {
+	s, _ := t.earliestFitFrom(0, earliest, dur, owner, gap)
+	return s
+}
+
+// earliestFitFrom is earliestFit with a resume floor: from is a live-window
+// index below which no fit can exist. 0 is always valid; the index returned
+// by a previous call remains valid for any later call whose earliest is at
+// or above that call's result, provided the timeline was not mutated in
+// between. (Monotonicity argument: an interval rejected at some candidate
+// start stays rejected at any larger start, and interval ends are sorted,
+// so the immediate predecessor dominates every earlier one.)
+//
+// The returned index is the settle position: the fit lies immediately
+// before live interval idx (idx == len(live) for the open tail). It is
+// simultaneously the exact insertion point for reserveIdx and the resume
+// floor for the next call — this is what lets the EIB's fixed-point grant
+// loop avoid re-searching each resource from scratch on every iteration.
+func (t *timeline) earliestFitFrom(from int, earliest, dur sim.Time, owner int32, gap sim.Time) (sim.Time, int) {
 	live := t.iv[t.head:]
 	n := len(live)
+	// Tail fast path: when earliest clears the last reservation, the fit
+	// is at the open tail and only the final switching gap can matter.
+	// This is the steady state of a flow with a resource to itself (each
+	// grant lands just past its predecessor), which makes it the common
+	// case in unsaturated runs.
+	if n == 0 {
+		return earliest, n
+	}
+	if last := live[n-1]; earliest >= last.e {
+		if last.owner != owner && earliest < last.e+gap {
+			return last.e + gap, n
+		}
+		return earliest, n
+	}
 	// Skip intervals that can constrain nothing: with e + gap <= earliest
 	// they can neither overlap a start >= earliest nor push it via a
-	// switching gap, and no fit can end before them. The remaining
-	// candidates start at the binary-searched bound.
-	first := t.search(earliest - gap)
+	// switching gap, and no fit can end before them. The bound is usually
+	// within a couple of steps of from — pruned windows begin near now and
+	// resumed calls pass their previous settle index — so probe linearly
+	// first and fall back to a binary search only for a long stale run
+	// (e.g. a segment that has not won, and so not pruned, in a while).
+	bound := earliest - gap
+	lo, hi := from, n
+	for probes := 0; lo < hi && live[lo].e <= bound; {
+		lo++
+		if probes++; probes == 4 {
+			for lo < hi {
+				mid := int(uint(lo+hi) >> 1)
+				if live[mid].e <= bound {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			break
+		}
+	}
 	start := earliest
-	for i := first; i <= n; i++ {
+	for i := lo; ; i++ {
 		// Minimum start after predecessor i-1 (plus switching gap when
 		// the predecessor belongs to a different flow).
 		if i > 0 {
@@ -103,7 +146,7 @@ func (t *timeline) earliestFit(earliest, dur sim.Time, owner int32, gap sim.Time
 			}
 		}
 		if i == n {
-			return start // open-ended tail
+			return start, n // open-ended tail
 		}
 		// Latest end that fits before successor i (minus switching gap
 		// when the successor belongs to a different flow).
@@ -112,17 +155,84 @@ func (t *timeline) earliestFit(earliest, dur sim.Time, owner int32, gap sim.Time
 			limit -= gap
 		}
 		if start+dur <= limit {
-			return start
+			return start, i
 		}
 	}
-	return start
+}
+
+// tailFit is the inlinable tail fast path of earliestFitFrom: it answers
+// only when earliest clears the last reservation (fit at the open tail,
+// where just the final switching gap can matter) and reports ok=false
+// otherwise, leaving the general search to the full routine. Hot callers
+// try it first so the steady single-flow case never pays a function call.
+func (t *timeline) tailFit(earliest sim.Time, owner int32, gap sim.Time) (sim.Time, int, bool) {
+	n := len(t.iv) - t.head
+	if n == 0 {
+		return earliest, 0, true
+	}
+	last := t.iv[len(t.iv)-1]
+	if earliest < last.e {
+		return 0, 0, false
+	}
+	if last.owner != owner && earliest < last.e+gap {
+		return last.e + gap, n, true
+	}
+	return earliest, n, true
+}
+
+// tailFitNoGap is tailFit for gap-free timelines (ramp ports).
+func (t *timeline) tailFitNoGap(earliest sim.Time) (sim.Time, int, bool) {
+	n := len(t.iv) - t.head
+	if n == 0 || earliest >= t.iv[len(t.iv)-1].e {
+		return earliest, n, true
+	}
+	return 0, 0, false
+}
+
+// earliestFitFromNoGap is earliestFitFrom specialized for gap == 0 (ramp
+// ports, which charge no switching penalty): with no gap the owner can
+// never matter, so the neighbour checks collapse to plain interval
+// arithmetic. Port searches run inside every iteration of the EIB's grant
+// fixed point, which makes this the hottest search variant.
+func (t *timeline) earliestFitFromNoGap(from int, earliest, dur sim.Time) (sim.Time, int) {
+	live := t.iv[t.head:]
+	n := len(live)
+	if n == 0 || earliest >= live[n-1].e { // tail fast path, as in earliestFitFrom
+		return earliest, n
+	}
+	lo, hi := from, n
+	for probes := 0; lo < hi && live[lo].e <= earliest; {
+		lo++
+		if probes++; probes == 4 {
+			for lo < hi {
+				mid := int(uint(lo+hi) >> 1)
+				if live[mid].e <= earliest {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			break
+		}
+	}
+	start := earliest
+	for i := lo; ; i++ {
+		if i > 0 && start < live[i-1].e {
+			start = live[i-1].e
+		}
+		if i == n {
+			return start, n
+		}
+		if start+dur <= live[i].s {
+			return start, i
+		}
+	}
 }
 
 // reserve inserts [s, s+dur) with the given owner. The caller must have
 // obtained s via earliestFit against the current state; overlapping
 // reservations panic.
 func (t *timeline) reserve(s, dur sim.Time, owner int32) {
-	e := s + dur
 	live := t.iv[t.head:]
 	// Find insertion point (first live interval starting at or after s).
 	lo, hi := 0, len(live)
@@ -134,6 +244,18 @@ func (t *timeline) reserve(s, dur sim.Time, owner int32) {
 			hi = mid
 		}
 	}
+	t.reserveIdx(lo, s, dur, owner)
+}
+
+// reserveIdx is reserve with the insertion point already known — the
+// settle index from the earliestFitFrom call that produced s. A wrong
+// index cannot corrupt the timeline: any lo that is not the sorted
+// insertion position trips one of the overlap panics below (the
+// predecessor would end past s, or the successor would start before
+// s+dur, both impossible at the true position).
+func (t *timeline) reserveIdx(lo int, s, dur sim.Time, owner int32) {
+	e := s + dur
+	live := t.iv[t.head:]
 	if lo > 0 && live[lo-1].e > s {
 		panic("eib: overlapping reservation")
 	}

@@ -59,15 +59,15 @@ func TestValidateTypedErrors(t *testing.T) {
 // must return nil or a typed ErrBadCommand error — and must not panic.
 // The fuzzer catches panics itself; the assertions pin the error type.
 func FuzzMFCValidate(f *testing.F) {
-	f.Add(uint8(0), 0, 0, int64(0), 16384, uint16(0), 0, false, false)         // valid get
-	f.Add(uint8(1), 31, 128, int64(1<<20), 128, uint16(0), 0, true, false)     // valid fenced put
-	f.Add(uint8(2), 0, 0, int64(0), 0, uint16(8), 1024, false, false)          // valid list
-	f.Add(uint8(0), 32, 0, int64(0), 128, uint16(0), 0, false, false)          // bad tag
+	f.Add(uint8(0), 0, 0, int64(0), 16384, uint16(0), 0, false, false)          // valid get
+	f.Add(uint8(1), 31, 128, int64(1<<20), 128, uint16(0), 0, true, false)      // valid fenced put
+	f.Add(uint8(2), 0, 0, int64(0), 0, uint16(8), 1024, false, false)           // valid list
+	f.Add(uint8(0), 32, 0, int64(0), 128, uint16(0), 0, false, false)           // bad tag
 	f.Add(uint8(0), 0, 0, int64(0), MaxTransfer+16, uint16(0), 0, false, false) // oversize
-	f.Add(uint8(0), 0, 4, int64(2), 3, uint16(0), 0, false, false)             // misaligned
-	f.Add(uint8(3), 0, 0, int64(0), 0, uint16(4096), 16, false, false)         // list too long
-	f.Add(uint8(0), 0, 0, int64(0), 128, uint16(0), 0, true, true)             // fence+barrier
-	f.Add(uint8(0), 0, -1 << 20, int64(-64), 128, uint16(0), 0, false, false)  // negative addrs
+	f.Add(uint8(0), 0, 4, int64(2), 3, uint16(0), 0, false, false)              // misaligned
+	f.Add(uint8(3), 0, 0, int64(0), 0, uint16(4096), 16, false, false)          // list too long
+	f.Add(uint8(0), 0, 0, int64(0), 128, uint16(0), 0, true, true)              // fence+barrier
+	f.Add(uint8(0), 0, -1<<20, int64(-64), 128, uint16(0), 0, false, false)     // negative addrs
 
 	m := newValidateMFC()
 	f.Fuzz(func(t *testing.T, kindRaw uint8, tag, lsaddr int, ea int64, size int, listLen uint16, elemSize int, fence, barrier bool) {

@@ -393,7 +393,7 @@ func (m *MFC) checkTagWaiters() {
 	for _, w := range m.tagWaiters {
 		if !w.fired && m.TagsComplete(w.mask) {
 			w.fired = true
-			m.eng.Schedule(0, w.fn)
+			m.eng.Post(w.fn)
 		} else if !w.fired {
 			kept = append(kept, w)
 		}
@@ -595,13 +595,13 @@ func (m *MFC) complete(st *cmdState) {
 	}
 	m.checkTagWaiters()
 	if st.done != nil {
-		m.eng.Schedule(0, st.done)
+		m.eng.Post(st.done)
 	}
 	if len(m.spaceSubs) > 0 {
 		subs := m.spaceSubs
 		m.spaceSubs = nil
 		for _, fn := range subs {
-			m.eng.Schedule(0, fn)
+			m.eng.Post(fn)
 		}
 	}
 }

@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// BenchmarkEngine measures raw scheduler throughput on the EventChurn
+// traffic mix (same-cycle dispatch, near and far wheel schedules, process
+// wakeups) and records events/s plus allocs/op as the "Engine" entry of
+// the repository's BENCH_eib.json baseline. The allocation guard next to
+// that file pins the recorded allocs/op.
+func BenchmarkEngine(b *testing.B) {
+	e := NewEngine()
+	EventChurn(e, ChurnRounds) // warm the wheel: measure steady state
+	b.ReportAllocs()
+	b.ResetTimer()
+	var fired int64
+	for i := 0; i < b.N; i++ {
+		fired += EventChurn(e, ChurnRounds)
+	}
+	b.StopTimer()
+	perRun := float64(fired) / float64(b.N)
+	b.ReportMetric(perRun, "events/op")
+	elapsed := b.Elapsed().Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(fired)/elapsed, "events/s")
+	}
+	allocs := testing.AllocsPerRun(1, func() { EventChurn(e, ChurnRounds) })
+	recordEngineBaseline(b, map[string]float64{
+		"events/op": perRun,
+		"events/s":  float64(fired) / elapsed,
+		"allocs/op": allocs,
+	})
+}
+
+// recordEngineBaseline merges the Engine entry into the repository-root
+// BENCH_eib.json (the same file the root-package benchmarks maintain; this
+// package can't share their helper, so the merge is reimplemented).
+func recordEngineBaseline(b *testing.B, metrics map[string]float64) {
+	b.Helper()
+	const path = "../../BENCH_eib.json"
+	all := map[string]map[string]float64{}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &all); err != nil {
+			b.Logf("ignoring unparsable %s: %v", path, err)
+			all = map[string]map[string]float64{}
+		}
+	}
+	all["Engine"] = metrics
+	data, err := json.MarshalIndent(all, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -7,7 +7,9 @@ package sim
 //
 // Implementation: the process body runs on its own goroutine, but control
 // is handed back and forth over unbuffered channels so the engine and the
-// process never run concurrently.
+// process never run concurrently. Activations are scheduled as pre-bound
+// process events (see Engine.scheduleProc), so blocking and waking a
+// process allocates nothing.
 type Process struct {
 	eng    *Engine
 	name   string
@@ -39,7 +41,7 @@ func Spawn(eng *Engine, name string, fn func(p *Process)) *Process {
 		fn(p)
 	}()
 	eng.procs = append(eng.procs, p)
-	eng.Schedule(0, p.activate)
+	eng.scheduleProc(0, p)
 	return p
 }
 
@@ -51,10 +53,13 @@ func (p *Process) activate() {
 	}
 	p.resume <- struct{}{}
 	<-p.yield
-	if p.done && p.err != nil {
-		// Re-raise as a typed value so simulation drivers can recover it
-		// and surface the underlying error cleanly (see ProcessPanic).
-		panic(&ProcessPanic{Name: p.name, Value: p.err})
+	if p.done {
+		p.eng.reapProcess()
+		if p.err != nil {
+			// Re-raise as a typed value so simulation drivers can recover it
+			// and surface the underlying error cleanly (see ProcessPanic).
+			panic(&ProcessPanic{Name: p.name, Value: p.err})
+		}
 	}
 }
 
@@ -85,7 +90,7 @@ func (p *Process) Wait(d Time) {
 	if d == 0 {
 		return
 	}
-	p.eng.Schedule(d, p.activate)
+	p.eng.scheduleProc(d, p)
 	p.park()
 }
 
@@ -95,7 +100,7 @@ func (p *Process) WaitSignal(s *Signal) {
 	if s.fired {
 		return
 	}
-	s.subscribe(p.activate)
+	s.subs = append(s.subs, waiter{proc: p})
 	p.park()
 }
 
@@ -108,9 +113,17 @@ func (p *Process) WaitFunc(arm func(wake func())) {
 			panic("sim: WaitFunc wake called twice")
 		}
 		woken = true
-		p.eng.Schedule(0, p.activate)
+		p.eng.scheduleProc(0, p)
 	})
 	p.park()
+}
+
+// waiter is one Signal subscriber: either a plain callback or a pre-bound
+// process activation (which avoids materializing a method-value closure
+// per blocked process).
+type waiter struct {
+	fn   func()
+	proc *Process
 }
 
 // Signal is a one-shot broadcast: processes and callbacks wait on it, and
@@ -118,7 +131,7 @@ func (p *Process) WaitFunc(arm func(wake func())) {
 type Signal struct {
 	eng   *Engine
 	fired bool
-	subs  []func()
+	subs  []waiter
 }
 
 // NewSignal returns an unfired signal bound to eng.
@@ -128,25 +141,41 @@ func NewSignal(eng *Engine) *Signal { return &Signal{eng: eng} }
 func (s *Signal) Fired() bool { return s.fired }
 
 // Fire releases all waiters. Firing twice panics: signals are one-shot.
+//
+// All subscribers are released through a single drained event rather than
+// one delay-0 event each. The observable order is identical: subscribers
+// run back to back in subscription order, and anything they schedule gets
+// a later sequence number than the drain event, exactly as it would have
+// trailed the last per-subscriber event.
 func (s *Signal) Fire() {
 	if s.fired {
 		panic("sim: signal fired twice")
 	}
 	s.fired = true
-	for _, fn := range s.subs {
-		s.eng.Schedule(0, fn)
+	if len(s.subs) > 0 {
+		s.eng.Post(s.drain)
 	}
+}
+
+// drain releases every subscriber registered before Fire, in order.
+func (s *Signal) drain() {
+	subs := s.subs
 	s.subs = nil
+	for _, w := range subs {
+		if w.proc != nil {
+			w.proc.activate()
+		} else {
+			w.fn()
+		}
+	}
 }
 
 // OnFire registers fn to run when the signal fires (immediately scheduled
 // if it already fired).
 func (s *Signal) OnFire(fn func()) {
 	if s.fired {
-		s.eng.Schedule(0, fn)
+		s.eng.Post(fn)
 		return
 	}
-	s.subscribe(fn)
+	s.subs = append(s.subs, waiter{fn: fn})
 }
-
-func (s *Signal) subscribe(fn func()) { s.subs = append(s.subs, fn) }

@@ -84,12 +84,36 @@ func (e *Engine) StuckProcesses() []string {
 	return stuck
 }
 
+// reapProcess notes that a spawned process completed. Once finished
+// processes make up half the registry it is compacted in place (spawn
+// order preserved), so Spawn-heavy scenarios — taskfarm workers, per-chunk
+// streaming kernels — don't grow the watchdog scan list without bound.
+// The threshold keeps small simulations from churning and makes the
+// amortized cost of registration O(1) per process.
+func (e *Engine) reapProcess() {
+	e.procsDone++
+	if e.procsDone < 32 || 2*e.procsDone < len(e.procs) {
+		return
+	}
+	live := e.procs[:0]
+	for _, p := range e.procs {
+		if !p.done {
+			live = append(live, p)
+		}
+	}
+	for i := len(live); i < len(e.procs); i++ {
+		e.procs[i] = nil
+	}
+	e.procs = live
+	e.procsDone = 0
+}
+
 // deadlock builds the structured diagnostic for the current engine state.
 func (e *Engine) deadlock(reason string) *DeadlockError {
 	err := &DeadlockError{
 		Reason:  reason,
 		Cycle:   e.now,
-		Pending: len(e.events),
+		Pending: e.Pending(),
 		Fired:   e.nfired,
 		Stuck:   e.StuckProcesses(),
 	}
@@ -105,7 +129,7 @@ func (e *Engine) deadlock(reason string) *DeadlockError {
 // deadlock), it returns a *DeadlockError describing the wedged state.
 func (e *Engine) RunChecked(maxCycles Time) error {
 	for e.PendingWork() > 0 {
-		if maxCycles > 0 && e.events[0].at > maxCycles {
+		if maxCycles > 0 && !e.stage(maxCycles) {
 			return e.deadlock(fmt.Sprintf("cycle budget %d exceeded", maxCycles))
 		}
 		e.Step()

@@ -33,7 +33,7 @@ func (s *SPE) WriteSignal(reg int, v uint32) {
 	ws := r.waiters
 	r.waiters = nil
 	for _, w := range ws {
-		s.eng.Schedule(0, w)
+		s.eng.Post(w)
 	}
 }
 

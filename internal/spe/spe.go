@@ -12,6 +12,7 @@ package spe
 
 import (
 	"fmt"
+	"sync"
 
 	"cellbe/internal/eib"
 	"cellbe/internal/mfc"
@@ -92,6 +93,33 @@ type SPE struct {
 	sigSeq int
 }
 
+// lsPool recycles local-store buffers across SPE lifetimes. A sweep builds
+// and discards a full system per grid point, and at 256 KiB per SPE the
+// stores dominate its allocation volume (and with it, GC frequency);
+// recycling trades that for a memclr of the reused buffer.
+var lsPool sync.Pool
+
+func newLS() []byte {
+	if v := lsPool.Get(); v != nil {
+		ls := v.([]byte)
+		for i := range ls {
+			ls[i] = 0
+		}
+		return ls
+	}
+	return make([]byte, LocalStoreBytes)
+}
+
+// Release returns the SPE's local store to the shared buffer pool. The
+// caller promises the SPE is dead: no scenario, DMA or simulation event
+// will touch it afterwards.
+func (s *SPE) Release() {
+	if s.ls != nil {
+		lsPool.Put(s.ls)
+		s.ls = nil
+	}
+}
+
 // New builds an SPE. fabric is the routing layer (provided by the cell
 // package); mfcCfg configures the DMA engine.
 func New(eng *sim.Engine, index int, ramp eib.RampID, fabric mfc.Fabric, cfg Config, mfcCfg mfc.Config) *SPE {
@@ -100,7 +128,7 @@ func New(eng *sim.Engine, index int, ramp eib.RampID, fabric mfc.Fabric, cfg Con
 		cfg:   cfg,
 		index: index,
 		ramp:  ramp,
-		ls:    make([]byte, LocalStoreBytes),
+		ls:    newLS(),
 	}
 	s.dma = mfc.New(eng, fabric, s.ls, mfcCfg)
 	s.Inbox = NewMailbox(eng, 4)
@@ -311,7 +339,7 @@ func (m *Mailbox) wakeAll(subs *[]func()) {
 	list := *subs
 	*subs = nil
 	for _, fn := range list {
-		m.eng.Schedule(0, fn)
+		m.eng.Post(fn)
 	}
 }
 

@@ -345,7 +345,7 @@ func (m *Memory) Write(requestor eib.RampID, addr int64, n int, earliest sim.Tim
 				}
 				bk.stats.WriteBytes += int64(n)
 				ack := svcEnd + lat
-				m.eng.At(ack, func() { done(ack) })
+				m.eng.AtCall(ack, done, ack)
 			})
 		})
 	})
