@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"cellbe/internal/cell"
+	"cellbe/internal/conformance"
 	"cellbe/internal/core"
 	"cellbe/internal/fault"
 	"cellbe/internal/report"
@@ -59,9 +60,14 @@ func main() {
 		metricsOut   = flag.String("metrics", "", "sweep only: write a utilization timeseries CSV of the first grid point to this file")
 		metricsEvery = flag.Int64("metrics-every", 10000, "metrics sampling interval in cycles")
 
+		conform      = flag.Bool("conformance", false, "evaluate every paper claim of internal/conformance and print a PASS/FAIL report")
+		conformShort = flag.Bool("conformance-short", false, "with -conformance: only the quick core-physics subset")
+		conformDoc   = flag.Bool("conformance-doc", false, "print EXPERIMENTS.md regenerated from the conformance claims and exit")
+
 		sweep   = flag.String("sweep", "", "sweep a scenario (pair, couples, cycle, or mem) over seeds x chunks")
 		spes    = flag.Int("spes", 8, "sweep: number of SPEs involved")
 		op      = flag.String("op", "get", "sweep: mem scenario operation (get, put, or copy)")
+		dmalist = flag.Bool("dmalist", false, "sweep: use the DMA-list kernel variant (GETL/PUTL)")
 		chunks  = flag.String("chunks", "1024,4096,16384", "sweep: comma-separated DMA element sizes")
 		seeds   = flag.Int("seeds", 10, "sweep: number of layout seeds (starting at -seed)")
 		volume  = flag.Int64("volume", 1<<20, "sweep: bytes per SPE")
@@ -86,6 +92,18 @@ func main() {
 		return
 	}
 
+	if *conformDoc {
+		fmt.Print(conformance.Doc())
+		return
+	}
+	if *conform {
+		d := conformance.NewDataset(conformance.QuickParams(*conformShort))
+		if failed := conformance.Report(os.Stdout, conformance.EvalAll(d, *conformShort)); failed > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
 	base, err := baseConfig(*cfgIn, *faultSpec, *faultSeed, *maxCycles)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cellbench: %v\n", err)
@@ -100,7 +118,7 @@ func main() {
 		metricsEvery: *metricsEvery,
 	}
 	if *sweep != "" {
-		if err := runSweep(*sweep, *spes, *op, *chunks, *seeds, *seed, *volume, *workers, base, *quiet, obs); err != nil {
+		if err := runSweep(*sweep, *spes, *op, *dmalist, *chunks, *seeds, *seed, *volume, *workers, base, *quiet, obs); err != nil {
 			fmt.Fprintf(os.Stderr, "cellbench: %v\n", err)
 			os.Exit(2)
 		}
@@ -223,7 +241,7 @@ type observability struct {
 
 // runSweep parses the sweep flags, fans the grid across workers via
 // core.RunSweep and prints one CSV row per grid point.
-func runSweep(scenario string, spes int, op, chunkList string, seedCount int, firstSeed, volume int64, workers int, base *cell.Config, quiet bool, obs observability) error {
+func runSweep(scenario string, spes int, op string, dmalist bool, chunkList string, seedCount int, firstSeed, volume int64, workers int, base *cell.Config, quiet bool, obs observability) error {
 	var chunkSizes []int
 	for _, f := range strings.Split(chunkList, ",") {
 		c, err := strconv.Atoi(strings.TrimSpace(f))
@@ -243,6 +261,7 @@ func runSweep(scenario string, spes int, op, chunkList string, seedCount int, fi
 		Scenario: scenario,
 		SPEs:     spes,
 		Op:       op,
+		List:     dmalist,
 		Chunks:   chunkSizes,
 		Seeds:    seedList,
 		Volume:   volume,

@@ -33,6 +33,7 @@ func main() {
 		spes     = flag.Int("spes", 2, "number of SPEs involved")
 		chunk    = flag.Int("chunk", 16384, "DMA element size in bytes")
 		op       = flag.String("op", "get", "mem scenario operation: get, put, or copy")
+		dmalist  = flag.Bool("dmalist", false, "use the DMA-list kernel variant (GETL/PUTL)")
 		volume   = flag.Int64("volume", 2<<20, "bytes per SPE")
 		seed     = flag.Int64("seed", 0, "layout seed (0 = identity)")
 		timeline = flag.Int64("timeline", 0, "print per-window utilization every N cycles (0 = off)")
@@ -124,7 +125,7 @@ func main() {
 	// large for a DMA element, unaligned, or overflowing the local-store
 	// apertures) fails here with a clear message instead of corrupting
 	// offsets or panicking deep inside the simulation.
-	sc := cell.Scenario{Kind: *scenario, SPEs: *spes, Chunk: *chunk, Volume: *volume, Op: *op}
+	sc := cell.Scenario{Kind: *scenario, SPEs: *spes, Chunk: *chunk, Volume: *volume, Op: *op, List: *dmalist}
 	totalBytes, err := sc.Install(sys)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cellsim: %v\n", err)

@@ -8,3 +8,9 @@ package cellbe
 //	go generate .
 //
 //go:generate sh -c "go run ./cmd/cellbench -all -full -q > results/full_sweep.txt"
+
+// EXPERIMENTS.md is rendered from the claim tables in internal/conformance
+// (TestExperimentsDocInSync fails when the two diverge); regenerate it
+// after editing claims.go:
+//
+//go:generate sh -c "go run ./cmd/cellbench -conformance-doc > EXPERIMENTS.md"

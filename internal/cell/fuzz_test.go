@@ -1,0 +1,73 @@
+package cell
+
+import (
+	"errors"
+	"testing"
+)
+
+// fuzzKinds maps the raw fuzz byte onto scenario kinds, including an
+// out-of-vocabulary name so the unknown-kind rejection stays covered.
+var fuzzKinds = []string{"pair", "couples", "cycle", "mem", "wedge", "bogus", ""}
+
+var fuzzOps = []string{"get", "put", "copy", "scan", ""}
+
+// FuzzScenarioConfig throws arbitrary scenario shapes at the
+// user-reachable configuration surface and asserts the robustness
+// contract: Validate must return nil or an error wrapping
+// ErrBadScenario — never a panic and never an untyped error — and every
+// scenario it accepts must install and run to completion (byte
+// conservation included) inside a finite cycle budget, i.e. no accepted
+// configuration may deadlock. Volumes are clamped so the executable
+// half stays cheap enough for a CI fuzz smoke.
+func FuzzScenarioConfig(f *testing.F) {
+	f.Add(uint8(0), 2, 16384, int64(64<<10), uint8(0), false) // valid pair
+	f.Add(uint8(1), 4, 2048, int64(32<<10), uint8(0), true)   // valid couples, lists
+	f.Add(uint8(2), 3, 128, int64(4<<10), uint8(0), false)    // valid 3-cycle
+	f.Add(uint8(3), 1, 4096, int64(64<<10), uint8(1), false)  // valid mem put
+	f.Add(uint8(3), 2, 1024, int64(16<<10), uint8(2), true)   // mem copy + list: reject
+	f.Add(uint8(1), 3, 2048, int64(32<<10), uint8(0), false)  // odd couples: reject
+	f.Add(uint8(0), 2, 24, int64(1<<10), uint8(0), false)     // 24-byte chunk: reject
+	f.Add(uint8(0), 2, 32768, int64(64<<10), uint8(0), false) // oversize chunk: reject
+	f.Add(uint8(2), 9, 128, int64(1<<10), uint8(0), false)    // too many SPEs: reject
+	f.Add(uint8(5), 2, 128, int64(1<<10), uint8(0), false)    // unknown kind: reject
+	f.Add(uint8(3), 1, 128, int64(-16), uint8(3), false)      // bad volume and op
+
+	f.Fuzz(func(t *testing.T, kindRaw uint8, spes, chunk int, volume int64, opRaw uint8, list bool) {
+		sc := Scenario{
+			Kind:   fuzzKinds[int(kindRaw)%len(fuzzKinds)],
+			SPEs:   spes,
+			Chunk:  chunk,
+			Volume: volume,
+			Op:     fuzzOps[int(opRaw)%len(fuzzOps)],
+			List:   list,
+		}
+		err := sc.Validate()
+		if err != nil {
+			if !errors.Is(err, ErrBadScenario) {
+				t.Fatalf("Validate(%+v) = %v: not a typed ErrBadScenario", sc, err)
+			}
+			return
+		}
+		if sc.Kind == "wedge" {
+			return // valid by design but deadlocks on purpose; the watchdog tests own it
+		}
+		// Accepted scenarios must actually run. Clamp the volume to a few
+		// elements so the fuzzer's executions stay fast; the clamped
+		// scenario is still valid (whole chunks, positive volume).
+		if max := int64(sc.Chunk) * 4; sc.Volume > max {
+			sc.Volume = max
+		}
+		sys := New(DefaultConfig())
+		defer sys.Release()
+		total, err := sc.Install(sys)
+		if err != nil {
+			t.Fatalf("validated scenario %+v failed to install: %v", sc, err)
+		}
+		if total <= 0 {
+			t.Fatalf("scenario %+v accounts for %d bytes", sc, total)
+		}
+		if err := sys.RunChecked(50_000_000); err != nil {
+			t.Fatalf("validated scenario %+v failed to run: %v", sc, err)
+		}
+	})
+}

@@ -1,11 +1,17 @@
 package cell
 
 import (
+	"errors"
 	"fmt"
 
 	"cellbe/internal/mfc"
 	"cellbe/internal/spe"
 )
+
+// ErrBadScenario is wrapped by every Scenario.Validate rejection, so
+// callers (and the fuzzer) can distinguish "the user asked for an
+// impossible workload" from simulation failures with errors.Is.
+var ErrBadScenario = errors.New("invalid scenario")
 
 // Scenario describes one of the canonical DMA workloads the paper's
 // SPE-to-SPE experiments are built from. The same scenarios back the
@@ -29,6 +35,11 @@ type Scenario struct {
 	Volume int64
 	// Op is the mem-scenario operation: "get", "put" or "copy".
 	Op string
+	// List switches the kernels from DMA-elem to DMA-list commands
+	// (GETL/PUTL): the same volume grouped into lists of up to 16 KB, with
+	// list elements of Chunk bytes — the paper's Figures 12(b)/15(b)
+	// discipline. Not defined for the wedge scenario or the mem copy op.
+	List bool
 }
 
 // pairGetBase/pairPutBase split an SPE's local store into a receive and a
@@ -63,28 +74,31 @@ func (sc Scenario) Validate() error {
 	case "wedge":
 		// The watchdog-test scenario moves no data; only the SPE count
 		// matters.
+		if sc.List {
+			return fmt.Errorf("cell: %w: the wedge scenario has no DMA-list variant", ErrBadScenario)
+		}
 		if sc.SPEs < 1 || sc.SPEs > NumSPEs {
-			return fmt.Errorf("cell: %d SPEs out of range 1..%d", sc.SPEs, NumSPEs)
+			return fmt.Errorf("cell: %w: %d SPEs out of range 1..%d", ErrBadScenario, sc.SPEs, NumSPEs)
 		}
 		return nil
 	default:
-		return fmt.Errorf("cell: unknown scenario %q (want pair, couples, cycle, mem or wedge)", sc.Kind)
+		return fmt.Errorf("cell: %w: unknown scenario %q (want pair, couples, cycle, mem or wedge)", ErrBadScenario, sc.Kind)
 	}
 	if sc.Chunk < 16 || sc.Chunk%16 != 0 {
-		return fmt.Errorf("cell: chunk %d must be a multiple of 16 bytes", sc.Chunk)
+		return fmt.Errorf("cell: %w: chunk %d must be a multiple of 16 bytes", ErrBadScenario, sc.Chunk)
 	}
 	if sc.Chunk > mfc.MaxTransfer {
-		return fmt.Errorf("cell: chunk %d exceeds the %d-byte DMA element limit", sc.Chunk, mfc.MaxTransfer)
+		return fmt.Errorf("cell: %w: chunk %d exceeds the %d-byte DMA element limit", ErrBadScenario, sc.Chunk, mfc.MaxTransfer)
 	}
 	if sc.Volume <= 0 {
-		return fmt.Errorf("cell: volume must be positive")
+		return fmt.Errorf("cell: %w: volume must be positive", ErrBadScenario)
 	}
 	if sc.Kind != "pair" {
 		if sc.SPEs < 1 || sc.SPEs > NumSPEs {
-			return fmt.Errorf("cell: %d SPEs out of range 1..%d", sc.SPEs, NumSPEs)
+			return fmt.Errorf("cell: %w: %d SPEs out of range 1..%d", ErrBadScenario, sc.SPEs, NumSPEs)
 		}
 		if sc.Kind == "couples" && sc.SPEs%2 != 0 {
-			return fmt.Errorf("cell: couples scenario needs an even SPE count, got %d", sc.SPEs)
+			return fmt.Errorf("cell: %w: couples scenario needs an even SPE count, got %d", ErrBadScenario, sc.SPEs)
 		}
 	}
 	if sc.Kind == "pair" || sc.Kind == "couples" || sc.Kind == "cycle" {
@@ -93,17 +107,82 @@ func (sc Scenario) Validate() error {
 		// so aperture changes cannot silently reintroduce an overflow.
 		slots := pairSlots(sc.Chunk)
 		if end := pairPutBase + slots*sc.Chunk; end > spe.LocalStoreBytes {
-			return fmt.Errorf("cell: chunk %d overflows local store (put aperture ends at %#x)", sc.Chunk, end)
+			return fmt.Errorf("cell: %w: chunk %d overflows local store (put aperture ends at %#x)", ErrBadScenario, sc.Chunk, end)
 		}
 	}
 	if sc.Kind == "mem" {
 		switch sc.Op {
 		case "get", "put", "copy":
 		default:
-			return fmt.Errorf("cell: unknown mem op %q (want get, put or copy)", sc.Op)
+			return fmt.Errorf("cell: %w: unknown mem op %q (want get, put or copy)", ErrBadScenario, sc.Op)
+		}
+		if sc.List && sc.Op == "copy" {
+			return fmt.Errorf("cell: %w: the mem copy op has no DMA-list variant", ErrBadScenario)
 		}
 	}
 	return nil
+}
+
+// listLength returns how many Chunk-sized elements one DMA list groups:
+// up to one MaxTransfer per list, capped at the architectural list length.
+func listLength(chunk int) int {
+	n := mfc.MaxTransfer / chunk
+	if n < 1 {
+		n = 1
+	}
+	if n > mfc.MaxListElements {
+		n = mfc.MaxListElements
+	}
+	return n
+}
+
+// pairListLoop is the DMA-list variant of the pair kernel: the same
+// bidirectional volume, grouped into GETL/PUTL commands whose elements
+// cycle through the peer's receive window, double-buffered inside the
+// get/put apertures.
+func pairListLoop(ctx *spe.Context, sc Scenario, peerEA int64) {
+	perList := listLength(sc.Chunk)
+	listBytes := int64(perList * sc.Chunk)
+	peerSlots := pairSlots(sc.Chunk)
+	i := 0
+	for off := int64(0); off < sc.Volume; off += listBytes {
+		list := make([]mfc.ListElem, 0, perList)
+		for k := 0; k < perList && off+int64(k*sc.Chunk) < sc.Volume; k++ {
+			slot := i % peerSlots
+			list = append(list, mfc.ListElem{EA: peerEA + int64(slot*sc.Chunk), Size: sc.Chunk})
+			i++
+		}
+		lsOff := int(off % (64 << 10))
+		if lsOff+perList*sc.Chunk > 64<<10 {
+			lsOff = 0
+		}
+		ctx.GetList(pairGetBase+lsOff, list, 0)
+		ctx.PutList(pairPutBase+lsOff, list, 1)
+	}
+	ctx.WaitTagMask(1<<0 | 1<<1)
+}
+
+// memListLoop is the DMA-list variant of the mem kernel: GETL or PUTL
+// lists of Chunk-sized elements streaming over the region at base.
+func memListLoop(ctx *spe.Context, sc Scenario, base int64) {
+	perList := listLength(sc.Chunk)
+	listBytes := int64(perList * sc.Chunk)
+	for off := int64(0); off < sc.Volume; off += listBytes {
+		list := make([]mfc.ListElem, 0, perList)
+		for k := 0; k < perList && off+int64(k*sc.Chunk) < sc.Volume; k++ {
+			list = append(list, mfc.ListElem{EA: base + off + int64(k*sc.Chunk), Size: sc.Chunk})
+		}
+		lsOff := int(off % (64 << 10))
+		if lsOff+perList*sc.Chunk > 64<<10 {
+			lsOff = 0
+		}
+		if sc.Op == "get" {
+			ctx.GetList(lsOff, list, 0)
+		} else {
+			ctx.PutList(lsOff, list, 0)
+		}
+	}
+	ctx.WaitTagMask(1 << 0)
 }
 
 // Install validates sc and installs its kernels on sys. It returns the
@@ -121,6 +200,10 @@ func (sc Scenario) Install(sys *System) (int64, error) {
 	pairKernel := func(idx, peer int) {
 		spawn(idx, 2*sc.Volume, func(ctx *spe.Context) {
 			peerEA := sys.LSEA(peer, 0)
+			if sc.List {
+				pairListLoop(ctx, sc, peerEA)
+				return
+			}
 			slots := pairSlots(sc.Chunk)
 			i := 0
 			for off := int64(0); off < sc.Volume; off += int64(sc.Chunk) {
@@ -156,6 +239,10 @@ func (sc Scenario) Install(sys *System) (int64, error) {
 				return 0, err
 			}
 			spawn(i, sc.Volume, func(ctx *spe.Context) {
+				if sc.List {
+					memListLoop(ctx, sc, base)
+					return
+				}
 				for off := int64(0); off < sc.Volume; off += int64(sc.Chunk) {
 					ls := int(off) % (128 << 10)
 					if ls+sc.Chunk > 128<<10 {

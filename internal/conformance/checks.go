@@ -1,0 +1,341 @@
+package conformance
+
+import (
+	"fmt"
+
+	"cellbe/internal/stats"
+)
+
+// Stat selects which statistic of a measured point (or curve) a Metric
+// resolves to.
+type Stat int
+
+const (
+	// Mean is the cross-run average at one x (the paper's headline stat).
+	Mean Stat = iota
+	// MinRun and MaxRun are the cross-run extremes at one x.
+	MinRun
+	MaxRun
+	// Median is the cross-run median at one x.
+	Median
+	// Spread is MaxRun - MinRun at one x: the layout-placement variance
+	// the paper's Figures 13 and 16 report.
+	Spread
+	// RobustSpread is the p90 - p10 interpercentile range of the runs at
+	// one x: Spread without the single luckiest/unluckiest layout.
+	RobustSpread
+	// CurveMax and CurveMin are the extremes of the point means along the
+	// whole curve (X is ignored); with Curve "*" they range over every
+	// curve of the probe.
+	CurveMax
+	CurveMin
+)
+
+func (s Stat) String() string {
+	switch s {
+	case Mean:
+		return "mean"
+	case MinRun:
+		return "min"
+	case MaxRun:
+		return "max"
+	case Median:
+		return "median"
+	case Spread:
+		return "spread"
+	case RobustSpread:
+		return "p90-p10"
+	case CurveMax:
+		return "curve-max"
+	case CurveMin:
+		return "curve-min"
+	}
+	return "?"
+}
+
+// Metric names one measurement of the dataset: a statistic of a probe's
+// curve at an x position. The zero Stat is the cross-run mean.
+type Metric struct {
+	Probe string
+	Curve string // curve label; "*" ranges over all curves (CurveMax/CurveMin only)
+	X     int    // ignored by CurveMax/CurveMin
+	Stat  Stat
+}
+
+func (m Metric) String() string {
+	switch m.Stat {
+	case CurveMax, CurveMin:
+		return fmt.Sprintf("%s[%s].%v", m.Probe, m.Curve, m.Stat)
+	}
+	if m.Stat == Mean {
+		return fmt.Sprintf("%s[%s]@%d", m.Probe, m.Curve, m.X)
+	}
+	return fmt.Sprintf("%s[%s]@%d.%v", m.Probe, m.Curve, m.X, m.Stat)
+}
+
+// Value resolves the metric against the dataset.
+func (m Metric) Value(d *Dataset) (float64, error) {
+	res, err := d.Result(m.Probe)
+	if err != nil {
+		return 0, err
+	}
+	if m.Stat == CurveMax || m.Stat == CurveMin {
+		best := 0.0
+		first := true
+		for i := range res.Curves {
+			c := &res.Curves[i]
+			if m.Curve != "*" && c.Label != m.Curve {
+				continue
+			}
+			for _, p := range c.Points {
+				v := p.Summary.Mean
+				if first || (m.Stat == CurveMax && v > best) || (m.Stat == CurveMin && v < best) {
+					best, first = v, false
+				}
+			}
+		}
+		if first {
+			return 0, fmt.Errorf("conformance: metric %v matches no points", m)
+		}
+		return best, nil
+	}
+	c := res.Curve(m.Curve)
+	if c == nil {
+		return 0, fmt.Errorf("conformance: probe %q has no curve %q", m.Probe, m.Curve)
+	}
+	for _, p := range c.Points {
+		if p.X != m.X {
+			continue
+		}
+		switch m.Stat {
+		case Mean:
+			return p.Summary.Mean, nil
+		case MinRun:
+			return p.Summary.Min, nil
+		case MaxRun:
+			return p.Summary.Max, nil
+		case Median:
+			return p.Summary.Median, nil
+		case Spread:
+			return p.Summary.Spread(), nil
+		case RobustSpread:
+			return stats.Percentile(p.Samples, 90) - stats.Percentile(p.Samples, 10), nil
+		}
+		return 0, fmt.Errorf("conformance: unknown stat %v", m.Stat)
+	}
+	return 0, fmt.Errorf("conformance: probe %q curve %q has no point at x=%d", m.Probe, m.Curve, m.X)
+}
+
+// Check is one executable guard of a claim. Eval returns a human-readable
+// account of what was measured, plus an error when the check fails; an
+// unresolvable metric (bad probe or curve name) is also an error, so a
+// claim can never silently pass by measuring nothing.
+type Check interface {
+	Describe() string
+	Eval(d *Dataset) (detail string, err error)
+}
+
+// Ordering asserts Hi >= Lo * Factor: one configuration beats (or at
+// Factor 1, at least matches) another. The zero Factor means 1.
+type Ordering struct {
+	Lo, Hi Metric
+	Factor float64
+}
+
+func (o Ordering) factor() float64 {
+	if o.Factor == 0 {
+		return 1
+	}
+	return o.Factor
+}
+
+func (o Ordering) Describe() string {
+	if o.factor() == 1 {
+		return fmt.Sprintf("%v >= %v", o.Hi, o.Lo)
+	}
+	return fmt.Sprintf("%v >= %.2f x %v", o.Hi, o.factor(), o.Lo)
+}
+
+func (o Ordering) Eval(d *Dataset) (string, error) {
+	lo, err := o.Lo.Value(d)
+	if err != nil {
+		return "", err
+	}
+	hi, err := o.Hi.Value(d)
+	if err != nil {
+		return "", err
+	}
+	detail := fmt.Sprintf("%.2f vs %.2f", hi, lo)
+	if hi < lo*o.factor() {
+		return detail, fmt.Errorf("ordering inverted: %v = %.3f < %.2f x %v = %.3f", o.Hi, hi, o.factor(), o.Lo, lo)
+	}
+	return detail, nil
+}
+
+// Ceiling asserts M <= Limit * (1 + Slack): a hard bandwidth limit of the
+// architecture (ring peak, MIC bank rate) is never exceeded.
+type Ceiling struct {
+	M     Metric
+	Limit float64
+	Slack float64 // fraction of Limit; 0 means exactly Limit
+}
+
+func (c Ceiling) Describe() string {
+	return fmt.Sprintf("%v <= %.1f", c.M, c.Limit)
+}
+
+func (c Ceiling) Eval(d *Dataset) (string, error) {
+	v, err := c.M.Value(d)
+	if err != nil {
+		return "", err
+	}
+	detail := fmt.Sprintf("%.2f (limit %.1f)", v, c.Limit)
+	if v > c.Limit*(1+c.Slack) {
+		return detail, fmt.Errorf("ceiling broken: %v = %.3f exceeds %.2f", c.M, v, c.Limit*(1+c.Slack))
+	}
+	return detail, nil
+}
+
+// Range asserts Min <= M <= Max: the measurement lands in an absolute
+// GB/s window.
+type Range struct {
+	M        Metric
+	Min, Max float64
+}
+
+func (r Range) Describe() string {
+	return fmt.Sprintf("%v in [%.1f, %.1f]", r.M, r.Min, r.Max)
+}
+
+func (r Range) Eval(d *Dataset) (string, error) {
+	v, err := r.M.Value(d)
+	if err != nil {
+		return "", err
+	}
+	detail := fmt.Sprintf("%.2f", v)
+	if v < r.Min || v > r.Max {
+		return detail, fmt.Errorf("out of range: %v = %.3f not in [%.2f, %.2f]", r.M, v, r.Min, r.Max)
+	}
+	return detail, nil
+}
+
+// Ratio asserts Min <= Num/Den <= Max: two configurations relate by a
+// bounded factor ("store is almost twice the load", "mem read equals L2
+// read"). A zero Max means unbounded above.
+type Ratio struct {
+	Num, Den Metric
+	Min, Max float64
+}
+
+func (r Ratio) Describe() string {
+	if r.Max == 0 {
+		return fmt.Sprintf("%v / %v >= %.2f", r.Num, r.Den, r.Min)
+	}
+	return fmt.Sprintf("%v / %v in [%.2f, %.2f]", r.Num, r.Den, r.Min, r.Max)
+}
+
+func (r Ratio) Eval(d *Dataset) (string, error) {
+	num, err := r.Num.Value(d)
+	if err != nil {
+		return "", err
+	}
+	den, err := r.Den.Value(d)
+	if err != nil {
+		return "", err
+	}
+	if den == 0 {
+		return "", fmt.Errorf("ratio denominator %v is zero", r.Den)
+	}
+	ratio := num / den
+	detail := fmt.Sprintf("%.2f/%.2f = %.2f", num, den, ratio)
+	if ratio < r.Min || (r.Max > 0 && ratio > r.Max) {
+		return detail, fmt.Errorf("ratio %v/%v = %.3f outside [%.2f, %.2f]", r.Num, r.Den, ratio, r.Min, r.Max)
+	}
+	return detail, nil
+}
+
+// Knee asserts the degradation shape of a curve: every point below KneeX
+// stays at most MaxFrac of the value at KneeX (small elements pay setup
+// costs), and, when FlatTol is set, every point at or above KneeX stays
+// within FlatTol (fractional) of the knee value (the curve has saturated).
+type Knee struct {
+	Probe, Curve string
+	KneeX        int
+	MaxFrac      float64
+	FlatTol      float64 // 0 = do not check flatness above the knee
+}
+
+func (k Knee) Describe() string {
+	return fmt.Sprintf("%s[%s] knees at %d (below <= %.2f x knee)", k.Probe, k.Curve, k.KneeX, k.MaxFrac)
+}
+
+func (k Knee) Eval(d *Dataset) (string, error) {
+	res, err := d.Result(k.Probe)
+	if err != nil {
+		return "", err
+	}
+	c := res.Curve(k.Curve)
+	if c == nil {
+		return "", fmt.Errorf("conformance: probe %q has no curve %q", k.Probe, k.Curve)
+	}
+	knee, ok := res.At(k.Curve, k.KneeX)
+	if !ok {
+		return "", fmt.Errorf("conformance: curve %q has no knee point at x=%d", k.Curve, k.KneeX)
+	}
+	detail := fmt.Sprintf("knee %.2f at %d", knee.Mean, k.KneeX)
+	below := 0
+	for _, p := range c.Points {
+		switch {
+		case p.X < k.KneeX:
+			below++
+			if p.Summary.Mean > knee.Mean*k.MaxFrac {
+				return detail, fmt.Errorf("no knee: %s[%s]@%d = %.3f exceeds %.2f x knee %.3f",
+					k.Probe, k.Curve, p.X, p.Summary.Mean, k.MaxFrac, knee.Mean)
+			}
+		case p.X > k.KneeX && k.FlatTol > 0:
+			if diff := p.Summary.Mean - knee.Mean; diff > knee.Mean*k.FlatTol || diff < -knee.Mean*k.FlatTol {
+				return detail, fmt.Errorf("not flat past the knee: %s[%s]@%d = %.3f vs knee %.3f",
+					k.Probe, k.Curve, p.X, p.Summary.Mean, knee.Mean)
+			}
+		}
+	}
+	if below == 0 {
+		return detail, fmt.Errorf("conformance: curve %q has no points below the knee %d", k.Curve, k.KneeX)
+	}
+	return detail, nil
+}
+
+// VarianceBound bounds the run-to-run spread of a measurement: MaxSpread
+// guards "variation stays under X" claims, MinSpread guards "placement
+// spreads the results widely" claims. Either bound may be left zero.
+type VarianceBound struct {
+	M         Metric // typically Stat: Spread or RobustSpread
+	MaxSpread float64
+	MinSpread float64
+}
+
+func (v VarianceBound) Describe() string {
+	switch {
+	case v.MaxSpread > 0 && v.MinSpread > 0:
+		return fmt.Sprintf("%v in [%.1f, %.1f]", v.M, v.MinSpread, v.MaxSpread)
+	case v.MinSpread > 0:
+		return fmt.Sprintf("%v >= %.1f", v.M, v.MinSpread)
+	default:
+		return fmt.Sprintf("%v <= %.1f", v.M, v.MaxSpread)
+	}
+}
+
+func (v VarianceBound) Eval(d *Dataset) (string, error) {
+	val, err := v.M.Value(d)
+	if err != nil {
+		return "", err
+	}
+	detail := fmt.Sprintf("%.2f", val)
+	if v.MaxSpread > 0 && val > v.MaxSpread {
+		return detail, fmt.Errorf("variance too wide: %v = %.3f exceeds %.2f", v.M, val, v.MaxSpread)
+	}
+	if val < v.MinSpread {
+		return detail, fmt.Errorf("variance too narrow: %v = %.3f below %.2f", v.M, val, v.MinSpread)
+	}
+	return detail, nil
+}

@@ -1,0 +1,337 @@
+package conformance
+
+import (
+	"fmt"
+	"sync"
+
+	"cellbe/internal/cell"
+	"cellbe/internal/core"
+	"cellbe/internal/stats"
+)
+
+// Dataset lazily runs and caches the measurement probes claims draw from.
+// Each probe is computed at most once per Dataset, on first use, so the
+// cost of an evaluation is exactly the probes the selected claims need —
+// and claim order (or test shuffling) cannot change any result, because
+// every probe builds its own systems from fixed seeds.
+type Dataset struct {
+	params core.Params
+
+	mu      sync.Mutex
+	entries map[string]*datasetEntry
+}
+
+type datasetEntry struct {
+	once sync.Once
+	res  *core.Result
+	err  error
+}
+
+// QuickParams returns the evaluation parameters of the conformance suite:
+// the experiments' quick-run volume (512 KB per SPE reaches steady state;
+// see the calibration tests) across 3 layout seeds — or 2 in the short CI
+// subset, where wall-clock is budgeted under `-race`.
+func QuickParams(short bool) core.Params {
+	p := core.DefaultParams()
+	p.Runs = 3
+	if short {
+		p.Runs = 2
+	}
+	p.BytesPerSPE = 512 << 10
+	p.PPEBytes = 1 << 20
+	return p
+}
+
+// NewDataset returns an empty dataset evaluating probes at params.
+func NewDataset(params core.Params) *Dataset {
+	return &Dataset{params: params, entries: make(map[string]*datasetEntry)}
+}
+
+// Result runs (or returns the cached result of) the named probe.
+func (d *Dataset) Result(name string) (*core.Result, error) {
+	p, ok := probes[name]
+	if !ok {
+		return nil, fmt.Errorf("conformance: unknown probe %q", name)
+	}
+	d.mu.Lock()
+	e := d.entries[name]
+	if e == nil {
+		e = &datasetEntry{}
+		d.entries[name] = e
+	}
+	d.mu.Unlock()
+	e.once.Do(func() {
+		params := d.params
+		if p.tweak != nil {
+			p.tweak(&params)
+		}
+		e.res, e.err = p.run(params)
+	})
+	return e.res, e.err
+}
+
+// ProbeNames returns every registered probe (for coverage checks).
+func ProbeNames() []string {
+	var names []string
+	for n := range probes {
+		names = append(names, n)
+	}
+	return names
+}
+
+// probe is one named measurement function: an experiment restricted to
+// the grid points the claims actually reference.
+type probe struct {
+	tweak func(*core.Params)
+	run   func(core.Params) (*core.Result, error)
+}
+
+var probes = map[string]probe{
+	// The three PPE figures are layout-independent and deterministic, so
+	// one run suffices regardless of the dataset's Runs.
+	"ppe-l1": {
+		tweak: func(p *core.Params) { p.Runs = 1 },
+		run:   func(p core.Params) (*core.Result, error) { return core.PPEBandwidth(p, core.LevelL1) },
+	},
+	// L2 and memory traversals simulate every element access, so these two
+	// probes restrict the access-width axis to the points the claims cite
+	// (1-byte sweeps over megabyte buffers dominate the suite otherwise).
+	"ppe-l2": {
+		tweak: func(p *core.Params) { p.Runs = 1; p.Elems = []int{1, 16} },
+		run:   func(p core.Params) (*core.Result, error) { return core.PPEBandwidth(p, core.LevelL2) },
+	},
+	"ppe-mem": {
+		tweak: func(p *core.Params) { p.Runs = 1; p.Elems = []int{16} },
+		run:   func(p core.Params) (*core.Result, error) { return core.PPEBandwidth(p, core.LevelMem) },
+	},
+	"spe-ls": {
+		tweak: func(p *core.Params) { p.Runs = 1 },
+		run:   core.SPELocalStore,
+	},
+	// Figure 8, restricted to the element sizes and SPE counts the claims
+	// cite.
+	"spe-mem-get": {
+		tweak: func(p *core.Params) { p.Chunks = []int{128, 2048, 16384}; p.SPESweep = []int{1, 2, 4, 8} },
+		run:   func(p core.Params) (*core.Result, error) { return core.SPEMemory(p, core.DMAGet, false) },
+	},
+	"spe-mem-put": {
+		tweak: func(p *core.Params) { p.Chunks = []int{16384}; p.SPESweep = []int{1} },
+		run:   func(p core.Params) (*core.Result, error) { return core.SPEMemory(p, core.DMAPut, false) },
+	},
+	"spe-mem-copy": {
+		tweak: func(p *core.Params) { p.Chunks = []int{16384}; p.SPESweep = []int{1} },
+		run:   func(p core.Params) (*core.Result, error) { return core.SPEMemory(p, core.DMACopy, false) },
+	},
+	"spe-mem-get-list": {
+		tweak: func(p *core.Params) { p.Chunks = []int{128, 16384}; p.SPESweep = []int{1} },
+		run:   func(p core.Params) (*core.Result, error) { return core.SPEMemory(p, core.DMAGet, true) },
+	},
+	// Figure 10: fully delayed ("all") against sync-every-request.
+	"pair-sync": {
+		tweak: func(p *core.Params) { p.Syncs = []int{1, 0}; p.Chunks = []int{128, 2048, 16384} },
+		run:   core.SPEPairSync,
+	},
+	"pair-distance": {
+		run: core.SPEPairDistance,
+	},
+	// Figures 12/13 and 15/16.
+	"couples-elem": {
+		tweak: func(p *core.Params) { p.Chunks = []int{128, 16384}; p.SPESweep = []int{2, 4, 8} },
+		run:   func(p core.Params) (*core.Result, error) { return core.SPECouples(p, false) },
+	},
+	"couples-list": {
+		tweak: func(p *core.Params) { p.Chunks = []int{128, 16384}; p.SPESweep = []int{2, 4, 8} },
+		run:   func(p core.Params) (*core.Result, error) { return core.SPECouples(p, true) },
+	},
+	"cycle-elem": {
+		tweak: func(p *core.Params) { p.Chunks = []int{16384}; p.SPESweep = []int{2, 4, 8} },
+		run:   func(p core.Params) (*core.Result, error) { return core.SPECycle(p, false) },
+	},
+	"cycle-list": {
+		tweak: func(p *core.Params) { p.Chunks = []int{16384}; p.SPESweep = []int{2, 4, 8} },
+		run:   func(p core.Params) (*core.Result, error) { return core.SPECycle(p, true) },
+	},
+	// Layout-placement spread needs more samples than the mean claims: 8
+	// layouts, as the paper's 10 repeated runs.
+	"couples-spread": {
+		tweak: func(p *core.Params) { p.Runs = 8; p.Chunks = []int{16384}; p.SPESweep = []int{8} },
+		run:   func(p core.Params) (*core.Result, error) { return core.SPECouples(p, false) },
+	},
+	"cycle-spread": {
+		tweak: func(p *core.Params) { p.Runs = 8; p.Chunks = []int{16384}; p.SPESweep = []int{8} },
+		run:   func(p core.Params) (*core.Result, error) { return core.SPECycle(p, false) },
+	},
+	// §1/§5 streaming pipelines.
+	"streaming": {
+		run: core.Streaming,
+	},
+	// The MIC bank ceiling: 4 SPEs streaming GETs against one bank versus
+	// pages interleaved over both.
+	"mem-bank": {
+		run: memBankProbe,
+	},
+	// The remaining §5 ablations: each toggles one config knob and keeps
+	// everything else at the default.
+	"mfc-window": {
+		run: func(p core.Params) (*core.Result, error) {
+			return configProbe(p, "mfc-window", "mem", 1, func(cfg *cell.Config, on bool) string {
+				if on {
+					cfg.MFC.Window = 64
+					return "window 64"
+				}
+				cfg.MFC.Window = 16
+				return "window 16"
+			})
+		},
+	},
+	"eib-arb": {
+		// The arbitration gap only bites on placements whose paths
+		// collide: average enough layouts (and a long enough stream) for
+		// the colliding ones to dominate the comparison, as the ablation
+		// benchmark does.
+		tweak: func(p *core.Params) { p.Runs = 6; p.BytesPerSPE = 1 << 20 },
+		run: func(p core.Params) (*core.Result, error) {
+			return configProbe(p, "eib-arb", "couples", 8, func(cfg *cell.Config, on bool) string {
+				if on {
+					return "real arbiter"
+				}
+				cfg.EIB.RingDeadCycles = 0
+				return "ideal arbiter"
+			})
+		},
+	},
+	"ppe-prefetch": {
+		run: ppePrefetchProbe,
+	},
+}
+
+// memBankProbe measures the NUMA placement ablation via the sweep runner:
+// the same 4-SPE, 16 KB GET stream once with pages interleaved over both
+// XDR banks and once pinned to the MIC-local bank, whose 16.8 GB/s rate
+// then caps the aggregate.
+func memBankProbe(p core.Params) (*core.Result, error) {
+	res := &core.Result{
+		Name:   "mem-bank",
+		Title:  "SPE to memory GETs: interleaved banks vs a single bank",
+		XLabel: "element size (bytes)",
+		YLabel: "GB/s",
+	}
+	seeds := make([]int64, p.Runs)
+	for i := range seeds {
+		seeds[i] = p.FirstSeed + int64(i)
+	}
+	for _, variant := range []struct {
+		label      string
+		interleave bool
+	}{{"interleaved", true}, {"single bank", false}} {
+		cfg := p.Base
+		base := cell.DefaultConfig()
+		if cfg != nil {
+			base = *cfg
+		}
+		base.Mem.Interleave = variant.interleave
+		results, err := core.RunSweep(core.SweepSpec{
+			Scenario: "mem",
+			SPEs:     4,
+			Op:       "get",
+			Chunks:   []int{16384},
+			Seeds:    seeds,
+			Volume:   p.BytesPerSPE,
+			Base:     &base,
+		})
+		if err != nil {
+			return nil, err
+		}
+		series := stats.NewSeries(variant.label, []int{16384})
+		for _, r := range results {
+			if r.Err != nil {
+				return nil, fmt.Errorf("conformance: mem-bank point chunk=%d seed=%d: %w", r.Chunk, r.Seed, r.Err)
+			}
+			series.Add(r.Chunk, r.GBps)
+		}
+		res.Curves = append(res.Curves, core.CurveFromSeries(series))
+	}
+	return res, nil
+}
+
+// configProbe runs one sweep scenario at 16 KB chunks twice — once with a
+// config knob off, once on — and returns the pair as two curves named by
+// the mutator.
+func configProbe(p core.Params, name, scenario string, spes int, mutate func(cfg *cell.Config, on bool) string) (*core.Result, error) {
+	res := &core.Result{
+		Name:   name,
+		Title:  fmt.Sprintf("%s scenario with a §5 design rule off and on", scenario),
+		XLabel: "element size (bytes)",
+		YLabel: "GB/s",
+	}
+	seeds := make([]int64, p.Runs)
+	for i := range seeds {
+		seeds[i] = p.FirstSeed + int64(i)
+	}
+	for _, on := range []bool{false, true} {
+		base := cell.DefaultConfig()
+		if p.Base != nil {
+			base = *p.Base
+		}
+		label := mutate(&base, on)
+		results, err := core.RunSweep(core.SweepSpec{
+			Scenario: scenario,
+			SPEs:     spes,
+			Op:       "get",
+			Chunks:   []int{16384},
+			Seeds:    seeds,
+			Volume:   p.BytesPerSPE,
+			Base:     &base,
+		})
+		if err != nil {
+			return nil, err
+		}
+		series := stats.NewSeries(label, []int{16384})
+		for _, r := range results {
+			if r.Err != nil {
+				return nil, fmt.Errorf("conformance: %s point chunk=%d seed=%d: %w", name, r.Chunk, r.Seed, r.Err)
+			}
+			series.Add(r.Chunk, r.GBps)
+		}
+		res.Curves = append(res.Curves, core.CurveFromSeries(series))
+	}
+	return res, nil
+}
+
+// ppePrefetchProbe isolates the L2 stream prefetcher behind Figure 6's
+// read equality: the PPE main-memory load curve with the prefetcher
+// disabled and at the default depth. Curves are relabeled "prefetch off"
+// and "prefetch on"; the x axis is the access width.
+func ppePrefetchProbe(p core.Params) (*core.Result, error) {
+	res := &core.Result{
+		Name:   "ppe-prefetch",
+		Title:  "PPE main-memory loads without and with the L2 prefetcher",
+		XLabel: "element size (bytes)",
+		YLabel: "GB/s",
+	}
+	p.Runs = 1
+	p.Elems = []int{8}
+	for _, on := range []bool{false, true} {
+		cfg := cell.DefaultConfig()
+		if p.Base != nil {
+			cfg = *p.Base
+		}
+		label := "prefetch on"
+		if !on {
+			cfg.PPE.PrefetchDepth = 0
+			label = "prefetch off"
+		}
+		params := p
+		params.Base = &cfg
+		mem, err := core.PPEBandwidth(params, core.LevelMem)
+		if err != nil {
+			return nil, err
+		}
+		c := mem.Curve("load 1T")
+		if c == nil {
+			return nil, fmt.Errorf("conformance: ppe-mem probe has no load 1T curve")
+		}
+		res.Curves = append(res.Curves, core.Curve{Label: label, Points: c.Points})
+	}
+	return res, nil
+}

@@ -1,0 +1,206 @@
+// Package meta is the metamorphic half of the conformance suite: instead
+// of comparing one measurement against a recorded value, it asserts
+// relations between *pairs* of simulator runs that must hold for every
+// scenario the generator can produce — properties no golden file can
+// express. Bandwidth must not depend on where idle SPEs sit in the
+// layout; cycle counts must not depend on the clock used to report GB/s;
+// bigger DMA elements, fewer faults and DMA lists must never make a
+// stream slower beyond tolerance; and every run, faulty or not, must
+// deliver exactly the bytes it requested.
+//
+// Cases are drawn from a seeded generator, so failures reproduce, and a
+// failing case is shrunk (smaller volume, fewer SPEs, maximal chunk, no
+// faults, identity layout) before being reported.
+package meta
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cellbe/internal/cell"
+	"cellbe/internal/fault"
+	"cellbe/internal/sim"
+)
+
+// maxCycles is the watchdog budget per metamorphic run; the generator's
+// volumes finish in well under a million cycles, so hitting this means a
+// deadlock, which the invariant then reports via RunChecked's error.
+const maxCycles sim.Time = 200_000_000
+
+// Case is one randomized scenario instance: the workload plus the machine
+// variation knobs the invariants toggle.
+type Case struct {
+	Scenario  cell.Scenario
+	Layout    []int // logical-to-physical SPE permutation (nil = identity)
+	ClockGHz  float64
+	Faults    fault.Config
+	FaultSeed int64
+}
+
+func (c Case) String() string {
+	sc := c.Scenario
+	return fmt.Sprintf("kind=%s spes=%d chunk=%d volume=%d op=%q list=%v layout=%v clock=%.1f faults=%+v",
+		sc.Kind, sc.SPEs, sc.Chunk, sc.Volume, sc.Op, sc.List, c.Layout, c.ClockGHz, c.Faults)
+}
+
+// Outcome is the measured result of one run.
+type Outcome struct {
+	Cycles sim.Time
+	GBps   float64
+	Bytes  int64
+}
+
+// Run executes the case on a fresh system and returns its outcome. The
+// run is checked end to end: watchdog, process panics, and the MFC
+// byte-conservation teardown audit all turn into an error.
+func Run(c Case) (Outcome, error) {
+	cfg := cell.DefaultConfig()
+	if c.ClockGHz > 0 {
+		cfg.ClockGHz = c.ClockGHz
+	}
+	if c.Layout != nil {
+		cfg.Layout = append([]int(nil), c.Layout...)
+	}
+	cfg.Faults = c.Faults
+	cfg.FaultSeed = c.FaultSeed
+	sys := cell.New(cfg)
+	defer sys.Release()
+	total, err := c.Scenario.Install(sys)
+	if err != nil {
+		return Outcome{}, err
+	}
+	if err := sys.RunChecked(maxCycles); err != nil {
+		return Outcome{}, err
+	}
+	cycles := sys.Eng.Now()
+	return Outcome{Cycles: cycles, GBps: sys.GBps(total, cycles), Bytes: total}, nil
+}
+
+// chunks the generator draws from: the power-of-two paper sweep plus
+// non-power-of-two 16-byte multiples that only a property test would try.
+var genChunks = []int{128, 256, 512, 1024, 2048, 4096, 8192, 16384, 48, 208, 1040, 5008}
+
+// Generate draws a random valid scenario case from rnd. Volumes are kept
+// small (at most ~512 KB per SPE) so a property can afford dozens of
+// runs; every generated case passes Scenario.Validate by construction.
+func Generate(rnd *rand.Rand) Case {
+	kinds := []string{"pair", "couples", "cycle", "mem"}
+	sc := cell.Scenario{Kind: kinds[rnd.Intn(len(kinds))]}
+	switch sc.Kind {
+	case "pair":
+		sc.SPEs = 2
+	case "couples":
+		sc.SPEs = 2 * (1 + rnd.Intn(4)) // 2, 4, 6, 8
+	case "cycle":
+		sc.SPEs = 2 + rnd.Intn(7) // 2..8
+	case "mem":
+		sc.SPEs = 1 + rnd.Intn(8)
+		sc.Op = []string{"get", "put", "copy"}[rnd.Intn(3)]
+	}
+	sc.Chunk = genChunks[rnd.Intn(len(genChunks))]
+	// 8..40 elements per SPE, as a whole number of chunks so byte
+	// accounting is exact across every variant pairing.
+	sc.Volume = int64(sc.Chunk) * int64(8+rnd.Intn(33))
+	if rnd.Intn(2) == 0 && !(sc.Kind == "mem" && sc.Op == "copy") {
+		sc.List = true
+	}
+	return Case{
+		Scenario:  sc,
+		Layout:    cell.RandomLayout(rnd.Int63n(1 << 30)),
+		FaultSeed: 1 + rnd.Int63n(1<<30),
+	}
+}
+
+// GenerateFaults draws a small single-class fault load.
+func GenerateFaults(rnd *rand.Rand) fault.Config {
+	rate := 0.002 + rnd.Float64()*0.03
+	var f fault.Config
+	switch rnd.Intn(5) {
+	case 0:
+		f.MFCRetryRate = rate
+	case 1:
+		f.XDRStallRate = rate
+	case 2:
+		f.EIBSlowRate = rate
+	case 3:
+		f.EIBOutageRate = rate
+	case 4:
+		f.DoneDelayRate = rate
+	}
+	return f
+}
+
+// Shrink minimizes a failing case: while the predicate still fails, it
+// greedily applies simplifications — identity layout, no faults, fewer
+// SPEs, elem instead of list, the largest chunk, half the volume — and
+// returns the simplest case that still fails. fails must be
+// deterministic for the same case (runs are).
+func Shrink(c Case, fails func(Case) bool) Case {
+	simpler := func(c Case) []Case {
+		var out []Case
+		if c.Layout != nil {
+			v := c
+			v.Layout = nil
+			out = append(out, v)
+		}
+		if c.Faults.Enabled() {
+			v := c
+			v.Faults = fault.Config{}
+			out = append(out, v)
+		}
+		if c.Scenario.List {
+			v := c
+			v.Scenario.List = false
+			out = append(out, v)
+		}
+		if c.Scenario.Kind != "pair" && c.Scenario.SPEs > 2 {
+			v := c
+			v.Scenario.SPEs -= 1
+			if c.Scenario.Kind == "couples" {
+				v.Scenario.SPEs = c.Scenario.SPEs - 2
+			}
+			out = append(out, v)
+		}
+		if c.Scenario.Chunk != 16384 {
+			v := c
+			elems := c.Scenario.Volume / int64(c.Scenario.Chunk)
+			v.Scenario.Chunk = 16384
+			v.Scenario.Volume = 16384 * elems
+			out = append(out, v)
+		}
+		if elems := c.Scenario.Volume / int64(c.Scenario.Chunk); elems >= 16 {
+			v := c
+			v.Scenario.Volume = c.Scenario.Volume / 2
+			out = append(out, v)
+		}
+		return out
+	}
+	for budget := 0; budget < 64; budget++ {
+		shrunk := false
+		for _, v := range simpler(c) {
+			if fails(v) {
+				c, shrunk = v, true
+				break
+			}
+		}
+		if !shrunk {
+			return c
+		}
+	}
+	return c
+}
+
+// UsedSPEs returns the logical SPE indices a scenario actually drives;
+// the rest are idle, and their physical placement must not matter.
+func UsedSPEs(sc cell.Scenario) []int {
+	switch sc.Kind {
+	case "pair":
+		return []int{0, 1}
+	default:
+		used := make([]int, sc.SPEs)
+		for i := range used {
+			used[i] = i
+		}
+		return used
+	}
+}

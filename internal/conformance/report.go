@@ -1,0 +1,107 @@
+package conformance
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// docHeader is the fixed preamble of EXPERIMENTS.md. Everything after it
+// is rendered from the claim tables.
+const docHeader = `# EXPERIMENTS — paper vs. measured
+
+Reproduction record for every table/figure of *"Performance Analysis of
+Cell Broadband Engine for High Memory Bandwidth Applications"* (ISPASS
+2007) against this repository's simulator.
+
+This file is generated from the claim tables in ` + "`internal/conformance`" + `
+(` + "`go generate .`" + ` rewrites it via ` + "`cellbench -conformance-doc`" + `), and
+every row below is also an executable check, evaluated against fresh
+simulator runs by ` + "`go test ./internal/conformance`" + ` — document and test
+suite share one source and cannot diverge. The raw sweep behind the
+"Measured" numbers is
+` + "`go run ./cmd/cellbench -all -full -q > results/full_sweep.txt`" + ` (the
+checked-in run uses 10 layout samples × 2 MB/SPE; add ` + "`-paper`" + ` for the
+original 32 MB/SPE volume — same steady-state numbers, ~16× slower), or
+` + "`go test -bench=. -benchmem`" + ` for the per-figure benchmark harness.
+
+All bandwidths in GB/s at 2.1 GHz. "Paper" values come from the paper's
+text (its figures are not machine-readable in the available copy; where
+only qualitative statements survive, those are quoted). Values here are
+averages across 10 random logical→physical SPE layouts unless noted.
+`
+
+// defaultHeader is the column set of the standard figure tables.
+var defaultHeader = []string{"", "Paper", "Measured", "Match"}
+
+// Doc renders the whole EXPERIMENTS.md document from the claim data.
+// TestExperimentsDocInSync asserts the checked-in file equals this output
+// byte for byte.
+func Doc() string {
+	var b strings.Builder
+	b.WriteString(docHeader)
+	for _, s := range sections {
+		b.WriteString("\n")
+		b.WriteString(s.Title)
+		b.WriteString("\n")
+		if len(s.Claims) > 0 {
+			header := s.Header
+			if header == nil {
+				header = defaultHeader
+			}
+			b.WriteString("\n")
+			writeRow(&b, header)
+			b.WriteString("|")
+			for range header {
+				b.WriteString("---|")
+			}
+			b.WriteString("\n")
+			for _, c := range s.Claims {
+				writeRow(&b, []string{c.Label, c.Paper, c.Measured, c.Match}[:len(header)])
+			}
+		}
+		if s.Footer != "" {
+			b.WriteString("\n")
+			b.WriteString(s.Footer)
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// writeRow renders one markdown table row; an empty cell collapses to a
+// single space so the standard tables' blank first column renders as the
+// conventional "| |".
+func writeRow(b *strings.Builder, cells []string) {
+	b.WriteString("|")
+	for _, cell := range cells {
+		if cell == "" {
+			b.WriteString(" |")
+			continue
+		}
+		b.WriteString(" " + cell + " |")
+	}
+	b.WriteString("\n")
+}
+
+// Report writes a human-readable evaluation report and returns the number
+// of failed claims.
+func Report(w io.Writer, outcomes []Outcome) int {
+	failed := 0
+	for _, o := range outcomes {
+		status := "PASS"
+		if o.Err != nil {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Fprintf(w, "%s %s (%s)\n", status, o.Claim.ID, o.Claim.Label)
+		for _, d := range o.Details {
+			fmt.Fprintf(w, "     %s\n", d)
+		}
+		if o.Err != nil {
+			fmt.Fprintf(w, "     error: %v\n", o.Err)
+		}
+	}
+	fmt.Fprintf(w, "conformance: %d claims evaluated, %d failed\n", len(outcomes), failed)
+	return failed
+}

@@ -47,6 +47,15 @@ type Params struct {
 	// FirstSeed offsets the layout seeds (seed 0 is the identity layout;
 	// runs use FirstSeed, FirstSeed+1, ...).
 	FirstSeed int64
+
+	// Chunks, Elems, SPESweep and Syncs restrict the sweep axes to the
+	// listed values; nil keeps the full paper grid. The conformance suite
+	// uses these to evaluate single figure points without paying for the
+	// whole sweep.
+	Chunks   []int // DMA element sizes (default ChunkSizes)
+	Elems    []int // load/store access widths (default ElemSizes)
+	SPESweep []int // SPE counts (default per experiment)
+	Syncs    []int // Figure 10 sync intervals (default SyncIntervals)
 }
 
 // DefaultParams returns quick-run parameters: 10 layout samples, 2 MB per
@@ -86,7 +95,63 @@ func (p Params) validate() error {
 	if p.PPEBytes < 4096 || p.PPEBytes%128 != 0 {
 		return fmt.Errorf("core: PPEBytes must be a multiple of the line size")
 	}
+	for _, c := range p.Chunks {
+		if c < 16 || c%16 != 0 || c > 16384 {
+			return fmt.Errorf("core: chunk restriction %d must be a multiple of 16 in [16, 16384]", c)
+		}
+	}
+	for _, e := range p.Elems {
+		if e != 1 && e != 2 && e != 4 && e != 8 && e != 16 {
+			return fmt.Errorf("core: element-size restriction %d must be one of 1, 2, 4, 8, 16", e)
+		}
+	}
+	for _, n := range p.SPESweep {
+		if n < 1 || n > 8 {
+			return fmt.Errorf("core: SPE-count restriction %d out of range 1..8", n)
+		}
+	}
+	for _, s := range p.Syncs {
+		if s < 0 {
+			return fmt.Errorf("core: sync-interval restriction %d must be non-negative", s)
+		}
+	}
 	return nil
+}
+
+// chunkSizes returns the DMA element-size axis: the Chunks restriction,
+// or the full paper sweep.
+func (p Params) chunkSizes() []int {
+	if len(p.Chunks) > 0 {
+		return p.Chunks
+	}
+	return ChunkSizes
+}
+
+// elemSizes returns the access-width axis: the Elems restriction, or the
+// full paper sweep.
+func (p Params) elemSizes() []int {
+	if len(p.Elems) > 0 {
+		return p.Elems
+	}
+	return ElemSizes
+}
+
+// speCounts returns the SPE-count axis: the SPESweep restriction, or the
+// experiment's default.
+func (p Params) speCounts(def []int) []int {
+	if len(p.SPESweep) > 0 {
+		return p.SPESweep
+	}
+	return def
+}
+
+// syncIntervals returns the Figure 10 synchronization axis: the Syncs
+// restriction, or the full paper sweep.
+func (p Params) syncIntervals() []int {
+	if len(p.Syncs) > 0 {
+		return p.Syncs
+	}
+	return SyncIntervals
 }
 
 // newSystem builds a system for run r of the sweep.
@@ -101,10 +166,14 @@ func (p Params) newSystem(run int) *cell.System {
 	return cell.New(cfg)
 }
 
-// Point is one x position of a curve with its cross-run summary.
+// Point is one x position of a curve with its cross-run summary. Samples
+// keeps the raw per-run values behind the summary so claim-oriented
+// consumers (the conformance suite) can compute their own statistics —
+// percentiles, robust spreads — without rerunning the experiment.
 type Point struct {
 	X       int
 	Summary stats.Summary
+	Samples []float64
 }
 
 // Curve is one labeled series of a figure.
@@ -147,11 +216,11 @@ func (r *Result) At(label string, x int) (stats.Summary, bool) {
 	return stats.Summary{}, false
 }
 
-// curveFromSeries converts collected samples to a Curve.
-func curveFromSeries(s *stats.Series) Curve {
+// CurveFromSeries converts collected samples to a Curve.
+func CurveFromSeries(s *stats.Series) Curve {
 	c := Curve{Label: s.Label}
 	for i, x := range s.Xs {
-		c.Points = append(c.Points, Point{X: x, Summary: stats.Summarize(s.Values[i])})
+		c.Points = append(c.Points, Point{X: x, Summary: stats.Summarize(s.Values[i]), Samples: s.Values[i]})
 	}
 	return c
 }

@@ -39,7 +39,7 @@ func CrossChip(p Params) (*Result, error) {
 				return runCrossChip(p, run, chunk, remote)
 			})
 		}
-		res.Curves = append(res.Curves, curveFromSeries(series))
+		res.Curves = append(res.Curves, CurveFromSeries(series))
 	}
 	return res, nil
 }

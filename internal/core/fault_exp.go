@@ -60,7 +60,7 @@ func FaultSweep(p Params) (*Result, error) {
 				return runFaultPoint(p, run, sc, bp)
 			})
 		}
-		res.Curves = append(res.Curves, curveFromSeries(series))
+		res.Curves = append(res.Curves, CurveFromSeries(series))
 	}
 	return res, nil
 }

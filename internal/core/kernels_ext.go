@@ -77,7 +77,7 @@ func ComputeKernels(p Params) (*Result, error) {
 				return runKernel(p, run, k, n)
 			})
 		}
-		res.Curves = append(res.Curves, curveFromSeries(series))
+		res.Curves = append(res.Curves, CurveFromSeries(series))
 	}
 	return res, nil
 }
@@ -273,7 +273,7 @@ func DMALatency(p Params) (*Result, error) {
 				return float64(latencyOnce(p, run, target == "memory", size))
 			})
 		}
-		res.Curves = append(res.Curves, curveFromSeries(series))
+		res.Curves = append(res.Curves, CurveFromSeries(series))
 	}
 	return res, nil
 }

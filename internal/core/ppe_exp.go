@@ -67,12 +67,12 @@ func PPEBandwidth(p Params, level CacheLevel) (*Result, error) {
 	// to 1 here to avoid wasted work).
 	for _, op := range []ppe.Op{ppe.Load, ppe.Store, ppe.Copy} {
 		for _, threads := range []int{1, 2} {
-			series := stats.NewSeries(fmt.Sprintf("%s %dT", op, threads), ElemSizes)
-			for _, elem := range ElemSizes {
+			series := stats.NewSeries(fmt.Sprintf("%s %dT", op, threads), p.elemSizes())
+			for _, elem := range p.elemSizes() {
 				bw := runPPEKernel(p, op, threads, elem, buf)
 				series.Add(elem, bw)
 			}
-			res.Curves = append(res.Curves, curveFromSeries(series))
+			res.Curves = append(res.Curves, CurveFromSeries(series))
 		}
 	}
 	return res, nil

@@ -28,15 +28,15 @@ func SPEMemory(p Params, op DMAOp, list bool) (*Result, error) {
 		XLabel: "element size (bytes)",
 		YLabel: "GB/s",
 	}
-	for _, n := range SPECounts {
-		series := stats.NewSeries(fmt.Sprintf("%d SPE", n), ChunkSizes)
-		for _, chunk := range ChunkSizes {
+	for _, n := range p.speCounts(SPECounts) {
+		series := stats.NewSeries(fmt.Sprintf("%d SPE", n), p.chunkSizes())
+		for _, chunk := range p.chunkSizes() {
 			chunk := chunk
 			addRuns(p, series, chunk, func(run int) float64 {
 				return runSPEMemory(p, run, n, chunk, op, list)
 			})
 		}
-		res.Curves = append(res.Curves, curveFromSeries(series))
+		res.Curves = append(res.Curves, CurveFromSeries(series))
 	}
 	return res, nil
 }
@@ -84,8 +84,8 @@ func SPELocalStore(p Params) (*Result, error) {
 	volume := 16 << 20 // pure compute-side loop; cheap to simulate
 	for _, op := range []spe.LSOp{spe.LSLoad, spe.LSStore, spe.LSCopy} {
 		label := map[spe.LSOp]string{spe.LSLoad: "load", spe.LSStore: "store", spe.LSCopy: "copy"}[op]
-		series := stats.NewSeries(label, ElemSizes)
-		for _, elem := range ElemSizes {
+		series := stats.NewSeries(label, p.elemSizes())
+		for _, elem := range p.elemSizes() {
 			sys := p.newSystem(0)
 			var bw float64
 			sys.SPEs[0].Run("ls", func(ctx *spe.Context) {
@@ -99,7 +99,7 @@ func SPELocalStore(p Params) (*Result, error) {
 			sys.Run()
 			series.Add(elem, bw)
 		}
-		res.Curves = append(res.Curves, curveFromSeries(series))
+		res.Curves = append(res.Curves, CurveFromSeries(series))
 	}
 	return res, nil
 }

@@ -27,19 +27,19 @@ func SPEPairSync(p Params) (*Result, error) {
 		XLabel: "element size (bytes)",
 		YLabel: "GB/s",
 	}
-	for _, every := range SyncIntervals {
+	for _, every := range p.syncIntervals() {
 		label := "all"
 		if every > 0 {
 			label = fmt.Sprintf("every %d", every)
 		}
-		series := stats.NewSeries(label, ChunkSizes)
-		for _, chunk := range ChunkSizes {
+		series := stats.NewSeries(label, p.chunkSizes())
+		for _, chunk := range p.chunkSizes() {
 			chunk, every := chunk, every
 			addRuns(p, series, chunk, func(run int) float64 {
 				return runPair(p, run, 0, 1, chunk, every)
 			})
 		}
-		res.Curves = append(res.Curves, curveFromSeries(series))
+		res.Curves = append(res.Curves, CurveFromSeries(series))
 	}
 	return res, nil
 }
@@ -76,7 +76,7 @@ func SPEPairDistance(p Params) (*Result, error) {
 			return runPair(p, run, 0, b, 16384, 0)
 		})
 	}
-	res.Curves = append(res.Curves, curveFromSeries(series))
+	res.Curves = append(res.Curves, CurveFromSeries(series))
 	return res, nil
 }
 
@@ -99,15 +99,15 @@ func SPECouples(p Params, list bool) (*Result, error) {
 		XLabel: "element size (bytes)",
 		YLabel: "GB/s",
 	}
-	for _, n := range []int{2, 4, 8} {
-		series := stats.NewSeries(fmt.Sprintf("%d SPEs", n), ChunkSizes)
-		for _, chunk := range ChunkSizes {
+	for _, n := range p.speCounts([]int{2, 4, 8}) {
+		series := stats.NewSeries(fmt.Sprintf("%d SPEs", n), p.chunkSizes())
+		for _, chunk := range p.chunkSizes() {
 			n, chunk := n, chunk
 			addRuns(p, series, chunk, func(run int) float64 {
 				return runCouples(p, run, n, chunk, list)
 			})
 		}
-		res.Curves = append(res.Curves, curveFromSeries(series))
+		res.Curves = append(res.Curves, CurveFromSeries(series))
 	}
 	return res, nil
 }
@@ -148,15 +148,15 @@ func SPECycle(p Params, list bool) (*Result, error) {
 		XLabel: "element size (bytes)",
 		YLabel: "GB/s",
 	}
-	for _, n := range []int{2, 4, 8} {
-		series := stats.NewSeries(fmt.Sprintf("%d SPEs", n), ChunkSizes)
-		for _, chunk := range ChunkSizes {
+	for _, n := range p.speCounts([]int{2, 4, 8}) {
+		series := stats.NewSeries(fmt.Sprintf("%d SPEs", n), p.chunkSizes())
+		for _, chunk := range p.chunkSizes() {
 			n, chunk := n, chunk
 			addRuns(p, series, chunk, func(run int) float64 {
 				return runCycle(p, run, n, chunk, list)
 			})
 		}
-		res.Curves = append(res.Curves, curveFromSeries(series))
+		res.Curves = append(res.Curves, CurveFromSeries(series))
 	}
 	return res, nil
 }

@@ -71,7 +71,7 @@ func STREAM(p Params) (*Result, error) {
 				return runSTREAM(p, run, k, n)
 			})
 		}
-		res.Curves = append(res.Curves, curveFromSeries(series))
+		res.Curves = append(res.Curves, CurveFromSeries(series))
 	}
 	return res, nil
 }

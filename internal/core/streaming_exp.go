@@ -164,7 +164,7 @@ func Streaming(p Params) (*Result, error) {
 			return runStreaming(p, run, streams)
 		})
 	}
-	res.Curves = append(res.Curves, curveFromSeries(series))
+	res.Curves = append(res.Curves, CurveFromSeries(series))
 	return res, nil
 }
 

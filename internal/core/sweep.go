@@ -23,6 +23,9 @@ type SweepSpec struct {
 	// Op is the mem-scenario operation (get, put or copy); ignored for
 	// the SPE-to-SPE scenarios. Empty defaults to get.
 	Op string
+	// List runs the DMA-list variant of the scenario kernels (GETL/PUTL
+	// lists of Chunk-sized elements) instead of DMA-elem commands.
+	List bool
 	// Chunks are the DMA element sizes to sweep.
 	Chunks []int
 	// Seeds are the layout seeds to sweep (seed 0 is the identity
@@ -91,7 +94,7 @@ func (s SweepSpec) scenario(chunk int) cell.Scenario {
 	if op == "" {
 		op = "get"
 	}
-	return cell.Scenario{Kind: s.Scenario, SPEs: s.SPEs, Chunk: chunk, Volume: s.Volume, Op: op}
+	return cell.Scenario{Kind: s.Scenario, SPEs: s.SPEs, Chunk: chunk, Volume: s.Volume, Op: op, List: s.List}
 }
 
 // RunSweep executes every (chunk, seed) grid point of spec, fanning the

@@ -42,7 +42,7 @@ func TaskChain(p Params) (*Result, error) {
 				return runTaskChain(p, run, policy, w)
 			})
 		}
-		res.Curves = append(res.Curves, curveFromSeries(series))
+		res.Curves = append(res.Curves, CurveFromSeries(series))
 	}
 	return res, nil
 }

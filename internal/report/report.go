@@ -13,12 +13,26 @@ import (
 	"cellbe/internal/trace"
 )
 
+// csvField quotes a free-text CSV field per RFC 4180 when it contains a
+// separator, quote or newline; clean fields pass through unchanged so
+// the common output stays byte-identical.
+func csvField(s string) string {
+	if !strings.ContainsAny(s, ",\"\n\r") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
 // TimeseriesCSV writes a metrics-sampler timeseries (cellsim/cellbench
 // -metrics) as CSV: the header row names the columns ("cycle" first), then
 // one row per sampling tick. Cycle counts print as integers, metric values
 // with four decimals.
 func TimeseriesCSV(w io.Writer, ts *trace.Timeseries) error {
-	if _, err := fmt.Fprintln(w, strings.Join(ts.Columns, ",")); err != nil {
+	cols := make([]string, len(ts.Columns))
+	for i, c := range ts.Columns {
+		cols[i] = csvField(c)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
 		return err
 	}
 	for _, row := range ts.Rows {
@@ -89,7 +103,7 @@ func CSV(w io.Writer, r *core.Result) error {
 		for _, p := range c.Points {
 			s := p.Summary
 			_, err := fmt.Fprintf(w, "%s,%s,%d,%.4f,%.4f,%.4f,%.4f,%.4f,%d\n",
-				r.Name, c.Label, p.X, s.Min, s.Max, s.Median, s.Mean, s.Stddev, s.N)
+				csvField(r.Name), csvField(c.Label), p.X, s.Min, s.Max, s.Median, s.Mean, s.Stddev, s.N)
 			if err != nil {
 				return err
 			}

@@ -6,6 +6,7 @@ import (
 
 	"cellbe/internal/core"
 	"cellbe/internal/stats"
+	"cellbe/internal/trace"
 )
 
 func sampleResult() *core.Result {
@@ -95,5 +96,94 @@ func TestChartZeroResult(t *testing.T) {
 	empty := &core.Result{Name: "empty", Title: "empty"}
 	if err := Chart(&sb, empty, 10); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	r := &core.Result{
+		Name: `sweep,"dirty"`,
+		Curves: []core.Curve{{
+			Label: "a,b\nc",
+			Points: []core.Point{
+				{X: 128, Summary: stats.Summarize([]float64{2})},
+			},
+		}},
+	}
+	var sb strings.Builder
+	if err := CSV(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(sb.String(), "\n"), "\n")
+	// The embedded newline is quoted, so the record spans two physical
+	// lines: header, then one logical row.
+	if len(lines) != 3 {
+		t.Fatalf("%d physical lines, want 3:\n%s", len(lines), sb.String())
+	}
+	row := lines[1] + "\n" + lines[2]
+	if !strings.HasPrefix(row, `"sweep,""dirty""","a,b`+"\nc\",128,") {
+		t.Fatalf("labels not RFC 4180 quoted: %q", row)
+	}
+}
+
+func TestCSVCleanLabelsUnquoted(t *testing.T) {
+	var sb strings.Builder
+	if err := CSV(&sb, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), `"`) {
+		t.Fatalf("clean labels must pass through unquoted:\n%s", sb.String())
+	}
+}
+
+func TestTimeseriesCSV(t *testing.T) {
+	ts := &trace.Timeseries{
+		Columns: []string{"cycle", "eib.busy", `odd,"name"`},
+		Rows: [][]float64{
+			{0, 0.5, 1},
+			{1000, 0.25, 2},
+		},
+	}
+	var sb strings.Builder
+	if err := TimeseriesCSV(&sb, ts); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d lines, want 3:\n%s", len(lines), sb.String())
+	}
+	if lines[0] != `cycle,eib.busy,"odd,""name"""` {
+		t.Fatalf("bad header %q", lines[0])
+	}
+	if lines[1] != "0,0.5000,1.0000" || lines[2] != "1000,0.2500,2.0000" {
+		t.Fatalf("bad rows %q / %q", lines[1], lines[2])
+	}
+}
+
+func TestTimeseriesCSVEmpty(t *testing.T) {
+	ts := &trace.Timeseries{Columns: []string{"cycle"}}
+	var sb strings.Builder
+	if err := TimeseriesCSV(&sb, ts); err != nil {
+		t.Fatal(err)
+	}
+	if got := sb.String(); got != "cycle\n" {
+		t.Fatalf("empty timeseries rendered %q, want header only", got)
+	}
+}
+
+func TestTableMissingPoints(t *testing.T) {
+	// Curve b has no sample at x=256; both table modes must print dashes
+	// rather than invent a value.
+	var sb strings.Builder
+	if err := Table(&sb, sampleResult(), true); err != nil {
+		t.Fatal(err)
+	}
+	var dashRow string
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "256") {
+			dashRow = line
+		}
+	}
+	if dashRow == "" || strings.Count(dashRow, "-") != 4 {
+		t.Fatalf("row for x=256 should carry 4 dashes for curve b: %q", dashRow)
 	}
 }

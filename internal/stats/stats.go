@@ -57,6 +57,28 @@ func Summarize(xs []float64) Summary {
 // Spread returns Max - Min.
 func (s Summary) Spread() float64 { return s.Max - s.Min }
 
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs by linear
+// interpolation between closest ranks, so Percentile(xs, 50) agrees with
+// the median and p=0/p=100 return the extremes. It panics on an empty
+// sample set or a p outside [0, 100]: callers always control both.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: empty sample set")
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v outside [0, 100]", p))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if frac == 0 {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
 // String renders the summary in GB/s with the paper's fields.
 func (s Summary) String() string {
 	return fmt.Sprintf("min=%.2f max=%.2f med=%.2f avg=%.2f (n=%d)", s.Min, s.Max, s.Median, s.Mean, s.N)

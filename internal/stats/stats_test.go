@@ -96,3 +96,59 @@ func TestSummaryOrderingProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPercentileExtremes(t *testing.T) {
+	xs := []float64{7, 1, 5, 3}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("P0 = %v, want the minimum 1", got)
+	}
+	if got := Percentile(xs, 100); got != 7 {
+		t.Errorf("P100 = %v, want the maximum 7", got)
+	}
+}
+
+func TestPercentileSingle(t *testing.T) {
+	for _, p := range []float64{0, 33.3, 50, 100} {
+		if got := Percentile([]float64{42}, p); got != 42 {
+			t.Errorf("P%v of a single sample = %v, want 42", p, got)
+		}
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	xs := []float64{0, 10}
+	if got := Percentile(xs, 25); got != 2.5 {
+		t.Errorf("P25 of {0,10} = %v, want 2.5 (linear interpolation)", got)
+	}
+}
+
+func TestPercentileMatchesMedian(t *testing.T) {
+	for _, xs := range [][]float64{{3, 1, 2}, {4, 1, 3, 2}, {5}, {2, 2, 2, 9}} {
+		med := Summarize(xs).Median
+		if got := Percentile(xs, 50); got != med {
+			t.Errorf("P50(%v) = %v, want median %v", xs, got, med)
+		}
+	}
+}
+
+func TestPercentileEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Percentile of an empty set did not panic")
+		}
+	}()
+	Percentile(nil, 50)
+}
+
+func TestPercentileRangePanics(t *testing.T) {
+	for _, p := range []float64{-1, 100.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Percentile(p=%v) did not panic", p)
+				}
+			}()
+			Percentile([]float64{1, 2}, p)
+		}()
+	}
+}
