@@ -272,7 +272,9 @@ func runSweep(scenario string, spes int, op string, dmalist bool, chunkList stri
 	// Instrument exactly the first grid point. The tracer and sampler are
 	// owned by that point's worker until RunSweep returns; we only read
 	// them afterwards, so no synchronization beyond RunSweep's own join is
-	// needed.
+	// needed. Only the instrumented point's System is retained (return
+	// true); every other grid point returns false so its pooled LS
+	// buffers recycle exactly as in an uninstrumented sweep.
 	var tracer *trace.Tracer
 	var sampler *trace.Sampler
 	if obs.traceOut != "" || obs.metricsOut != "" {
@@ -284,9 +286,9 @@ func runSweep(scenario string, spes int, op string, dmalist bool, chunkList stri
 			chunk int
 			seed  int64
 		}{chunkSizes[0], seedList[0]}
-		spec.Instrument = func(chunk int, seed int64, sys *cell.System) {
+		spec.Instrument = func(chunk int, seed int64, sys *cell.System) bool {
 			if chunk != target.chunk || seed != target.seed {
-				return
+				return false
 			}
 			if obs.traceOut != "" {
 				tracer = trace.New(obs.traceEvents, mask)
@@ -295,6 +297,7 @@ func runSweep(scenario string, spes int, op string, dmalist bool, chunkList stri
 			if obs.metricsOut != "" {
 				sampler = sys.StartMetrics(sim.Time(obs.metricsEvery))
 			}
+			return true
 		}
 	}
 

@@ -1,0 +1,88 @@
+// Command cellserve runs the Cell BE sweep simulator as a service: an
+// HTTP/JSON API over the core job scheduler, with a shared worker pool,
+// content-addressed result memoization, bounded job admission and
+// per-client rate limits. See the README's Serving section for the
+// endpoints and wire format.
+//
+// Usage:
+//
+//	cellserve -addr :8080 -workers 8 -cache 4096 -rate 5
+//
+// A healthy instance answers GET /healthz; sweeps stream NDJSON from
+// POST /v1/sweeps.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cellbe/internal/core"
+	"cellbe/internal/serve"
+	"cellbe/internal/sim"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 16, "max unfinished jobs before submissions get 429")
+	cache := flag.Int("cache", 4096, "result cache capacity in grid points (0 disables memoization)")
+	rate := flag.Float64("rate", 0, "per-client submissions per second (0 = unlimited)")
+	burst := flag.Int("burst", 10, "per-client submission burst")
+	maxPoints := flag.Int("max-points", 4096, "max grid points per request")
+	maxCycles := flag.Int64("max-cycles", 1_000_000_000, "per-point watchdog cycle budget cap (0 = no cap)")
+	maxVolume := flag.Int64("max-volume", 64<<20, "max per-SPE volume in bytes per request")
+	flag.Parse()
+
+	sched := core.NewScheduler(core.SchedOptions{
+		Workers:     *workers,
+		MaxJobs:     *queue,
+		CachePoints: *cache,
+	})
+	handler := serve.New(serve.Options{
+		Sched:      sched,
+		RatePerSec: *rate,
+		RateBurst:  *burst,
+		MaxPoints:  *maxPoints,
+		MaxCycles:  sim.Time(*maxCycles),
+		MaxVolume:  *maxVolume,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("cellserve: listening on %s (%d-job queue, %d-point cache)", *addr, *queue, *cache)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "cellserve: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting, let streams finish, then drain
+	// the scheduler so in-flight simulations complete before exit.
+	log.Printf("cellserve: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("cellserve: shutdown: %v", err)
+	}
+	sched.Close()
+}

@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"cellbe/internal/cell"
+	"cellbe/internal/core"
 	"cellbe/internal/eib"
 	"cellbe/internal/fault"
 	"cellbe/internal/report"
@@ -77,25 +78,31 @@ func main() {
 		cfg.Faults = fc
 		cfg.FaultSeed = *faultSeed
 	}
-	sys := cell.New(cfg)
 
 	var tracer *trace.Tracer
+	var traceMask trace.Mask
 	if *traceOut != "" {
 		mask, err := trace.ParseFilter(*traceFilter)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cellsim: %v\n", err)
 			os.Exit(2)
 		}
-		tracer = trace.New(*traceEvents, mask)
-		sys.SetTracer(tracer)
+		traceMask = mask
+	}
+	if *metricsOut != "" && *metricsEvery <= 0 {
+		fmt.Fprintf(os.Stderr, "cellsim: -metrics-every must be positive\n")
+		os.Exit(2)
 	}
 	var sampler *trace.Sampler
-	if *metricsOut != "" {
-		if *metricsEvery <= 0 {
-			fmt.Fprintf(os.Stderr, "cellsim: -metrics-every must be positive\n")
-			os.Exit(2)
+	// instrument attaches the observability hooks to the run's System.
+	instrument := func(sys *cell.System) {
+		if *traceOut != "" {
+			tracer = trace.New(*traceEvents, traceMask)
+			sys.SetTracer(tracer)
 		}
-		sampler = sys.StartMetrics(sim.Time(*metricsEvery))
+		if *metricsOut != "" {
+			sampler = sys.StartMetrics(sim.Time(*metricsEvery))
+		}
 	}
 	// flushObservability writes the trace and metrics files; it runs on
 	// failure paths too, so a wedged run still leaves an inspectable trace.
@@ -117,42 +124,87 @@ func main() {
 	}
 
 	fmt.Printf("layout (logical -> physical -> ramp):\n")
-	for logical, phys := range sys.Layout() {
+	for logical, phys := range cell.RandomLayout(*seed) {
 		fmt.Printf("  SPE%d -> phys %d -> ramp %v\n", logical, phys, eib.PhysicalSPERamp(phys))
 	}
 
-	// Validation happens before any kernel runs, so a bad -chunk (too
-	// large for a DMA element, unaligned, or overflowing the local-store
-	// apertures) fails here with a clear message instead of corrupting
-	// offsets or panicking deep inside the simulation.
-	sc := cell.Scenario{Kind: *scenario, SPEs: *spes, Chunk: *chunk, Volume: *volume, Op: *op, List: *dmalist}
-	totalBytes, err := sc.Install(sys)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "cellsim: %v\n", err)
-		os.Exit(2)
-	}
-
+	var (
+		sys    *cell.System
+		gbps   float64
+		cycles sim.Time
+	)
 	if *timeline > 0 {
+		// The timeline mode steps the engine manually in fixed windows,
+		// so it drives the System directly instead of going through the
+		// scheduler.
+		sys = cell.New(cfg)
+		instrument(sys)
+		sc := cell.Scenario{Kind: *scenario, SPEs: *spes, Chunk: *chunk, Volume: *volume, Op: *op, List: *dmalist}
+		totalBytes, err := sc.Install(sys)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cellsim: %v\n", err)
+			os.Exit(2)
+		}
 		runTimeline(sys, *timeline)
 		if err := sys.Verify(); err != nil {
 			flushObservability()
 			fmt.Fprintf(os.Stderr, "cellsim: %v\n", err)
 			os.Exit(1)
 		}
-	} else if err := sys.RunChecked(sim.Time(*maxCycles)); err != nil {
-		// A wedged or byte-losing run exits non-zero with the structured
-		// diagnostic (stuck processes, outstanding MFC tags, cycle, ...).
-		flushObservability()
-		fmt.Fprintf(os.Stderr, "cellsim: %v\n", err)
-		os.Exit(1)
+		cycles = sys.Eng.Now()
+		gbps = sys.GBps(totalBytes, cycles)
+	} else {
+		// The standard run is a one-point grid on the shared sweep
+		// scheduler: scenario validation happens up front (a bad -chunk
+		// fails with a clear message), and a wedged or panicking
+		// simulation comes back as a structured per-point diagnostic
+		// instead of killing the process. The Instrument hook returns
+		// true to retain the System: all the machine-level reporting
+		// below reads it after the run.
+		spec := core.SweepSpec{
+			Scenario:  *scenario,
+			SPEs:      *spes,
+			Op:        *op,
+			List:      *dmalist,
+			Chunks:    []int{*chunk},
+			Seeds:     []int64{*seed},
+			Volume:    *volume,
+			Workers:   1,
+			Base:      &cfg,
+			MaxCycles: sim.Time(*maxCycles),
+			Instrument: func(_ int, _ int64, s *cell.System) bool {
+				sys = s
+				instrument(s)
+				return true
+			},
+		}
+		results, err := core.RunSweep(spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cellsim: %v\n", err)
+			os.Exit(2)
+		}
+		r := results[0]
+		if r.Err != nil {
+			// A wedged or byte-losing run exits non-zero with the
+			// structured diagnostic (stuck processes, outstanding MFC
+			// tags, cycle, ...).
+			flushObservability()
+			// r.Log carries the resolved layout plus the full diagnostic
+			// (r.Err's text included), so it is the complete report.
+			for _, line := range r.Log {
+				fmt.Fprintf(os.Stderr, "cellsim: %s\n", line)
+			}
+			os.Exit(1)
+		}
+		cycles = r.Cycles
+		gbps = r.GBps
 	}
 	flushObservability()
-	cycles := sys.Eng.Now()
 	fmt.Printf("\nscenario %s: %d SPEs, %dB elements, %d MB/SPE\n",
 		*scenario, *spes, *chunk, *volume>>20)
 	fmt.Printf("simulated %d cycles (%.3f ms at %.1f GHz), %d events\n",
 		cycles, float64(cycles)/cfg.ClockGHz/1e6, cfg.ClockGHz, sys.Eng.Fired())
-	fmt.Printf("aggregate bandwidth: %.2f GB/s\n", sys.GBps(totalBytes, cycles))
+	fmt.Printf("aggregate bandwidth: %.2f GB/s\n", gbps)
 
 	st := sys.Bus.Stats()
 	fmt.Printf("\nEIB: %d transfers (%d ramp-local), %d MB, %d commands, wait %d cycles\n",

@@ -67,6 +67,16 @@ type Config struct {
 	MaxCycles sim.Time
 }
 
+// Clone returns a deep copy of c. Every component configuration is a
+// plain value, so the only reference field is the Layout slice — cloning
+// it means a System built from the copy can never race a caller that
+// keeps mutating the original Config (the sweep scheduler snapshots its
+// base config this way before fanning grid points across workers).
+func (c Config) Clone() Config {
+	c.Layout = append([]int(nil), c.Layout...)
+	return c
+}
+
 // DefaultConfig returns the calibrated configuration of the paper's
 // dual-Cell blade (one active chip at 2.1 GHz, both memory banks).
 func DefaultConfig() Config {

@@ -2,6 +2,7 @@ package cell
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -382,5 +383,25 @@ func TestTrySignalNonBlocking(t *testing.T) {
 	s.Run()
 	if !empty || !full || v != 42 {
 		t.Fatalf("TrySignal empty=%v full=%v v=%d", empty, full, v)
+	}
+}
+
+func TestConfigClone(t *testing.T) {
+	orig := DefaultConfig()
+	orig.Layout = RandomLayout(3)
+	orig.FaultSeed = 42
+
+	c := orig.Clone()
+	if !reflect.DeepEqual(c, orig) {
+		t.Fatalf("clone differs from original:\n%+v\n%+v", c, orig)
+	}
+	// Layout is the config's only reference field; the clone must own its
+	// own backing array so mutating one side never shows through the other.
+	c.Layout[0], c.Layout[1] = c.Layout[1], c.Layout[0]
+	if reflect.DeepEqual(c.Layout, orig.Layout) {
+		t.Fatal("clone shares its Layout backing array with the original")
+	}
+	if n := (Config{}).Clone(); n.Layout != nil {
+		t.Fatalf("cloning a nil Layout produced %v, want nil", n.Layout)
 	}
 }

@@ -1,0 +1,535 @@
+package core
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"cellbe/internal/cell"
+	"cellbe/internal/sim"
+)
+
+// ErrQueueFull is returned by Submit when the scheduler already holds
+// MaxJobs unfinished jobs. It is the backpressure signal: callers should
+// retry later (the HTTP layer maps it to 429 + Retry-After).
+var ErrQueueFull = errors.New("core: scheduler job queue is full")
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("core: scheduler is closed")
+
+// SchedOptions configures a Scheduler.
+type SchedOptions struct {
+	// Workers is the size of the simulation worker pool shared by every
+	// job; <= 0 uses GOMAXPROCS.
+	Workers int
+	// MaxJobs bounds the unfinished (queued + running) jobs the scheduler
+	// admits; Submit returns ErrQueueFull beyond it. <= 0 defaults to 16.
+	MaxJobs int
+	// CachePoints is the capacity of the content-addressed result cache
+	// (grid points, LRU-evicted). 0 disables memoization — the right
+	// setting for one-shot sweeps that never resubmit a point.
+	CachePoints int
+	// KeepJobs is how many finished jobs stay queryable through Job()
+	// before the oldest are pruned; <= 0 defaults to 256.
+	KeepJobs int
+	// BeforePoint, when set, runs on the worker goroutine before every
+	// grid point (cache hits included). It exists for tests that need to
+	// gate or observe worker progress deterministically; production
+	// callers leave it nil.
+	BeforePoint func(chunk int, seed int64)
+}
+
+func (o SchedOptions) maxJobs() int {
+	if o.MaxJobs <= 0 {
+		return 16
+	}
+	return o.MaxJobs
+}
+
+func (o SchedOptions) keepJobs() int {
+	if o.KeepJobs <= 0 {
+		return 256
+	}
+	return o.KeepJobs
+}
+
+// PointResult is one grid point's SweepResult plus scheduler metadata.
+type PointResult struct {
+	SweepResult
+	// Cached marks a memoized result: the point was not re-simulated.
+	// Its Log slice is shared with every other consumer of the cache
+	// entry and must be treated as read-only.
+	Cached bool
+}
+
+// Scheduler is the reusable job layer under RunSweep, cellbench, cellsim
+// and cellserve: a bounded worker pool that shards grid points across
+// cores, a content-addressed result cache so resubmitted points are free,
+// and bounded job admission so untrusted request streams degrade into
+// ErrQueueFull instead of unbounded goroutines. Failures stay per-point
+// (SweepResult.Err), exactly as in RunSweep — a deadlocked or panicking
+// simulation never takes a worker down.
+type Scheduler struct {
+	opts   SchedOptions
+	tasks  chan pointTask
+	workWG sync.WaitGroup
+	feedWG sync.WaitGroup
+
+	sims atomic.Int64 // points actually simulated (cache hits excluded)
+
+	mu      sync.Mutex
+	closed  bool
+	active  int
+	nextID  int64
+	jobs    map[string]*Job
+	doneIDs []string // finished jobs in finish order, for pruning
+	cache   *pointCache
+}
+
+type pointTask struct {
+	job *Job
+	idx int
+}
+
+// NewScheduler starts the worker pool and returns the scheduler. Callers
+// own its lifetime and must Close it.
+func NewScheduler(opts SchedOptions) *Scheduler {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s := &Scheduler{
+		opts:  opts,
+		tasks: make(chan pointTask, workers),
+		jobs:  make(map[string]*Job),
+	}
+	if opts.CachePoints > 0 {
+		s.cache = newPointCache(opts.CachePoints)
+	}
+	for w := 0; w < workers; w++ {
+		s.workWG.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Close cancels every unfinished job, waits for in-flight points to
+// drain and stops the workers. Submit fails with ErrClosed afterwards.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.Cancel()
+	}
+	s.feedWG.Wait()
+	close(s.tasks)
+	s.workWG.Wait()
+}
+
+// Submit validates spec, snapshots its base config and enqueues the sweep
+// as a job whose grid points the worker pool executes. It returns
+// ErrQueueFull when MaxJobs jobs are already unfinished. Cancelling ctx
+// cancels the job: points not yet started are skipped (a running
+// simulation finishes its point first — simulations are not preemptible).
+func (s *Scheduler) Submit(ctx context.Context, spec SweepSpec) (*Job, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	if spec.Base != nil {
+		// Snapshot now, synchronously: after Submit returns, the caller
+		// may mutate *spec.Base (its Layout slice included) without
+		// racing any worker.
+		b := spec.Base.Clone()
+		spec.Base = &b
+	}
+	grid := make([]gridPoint, 0, len(spec.Chunks)*len(spec.Seeds))
+	for _, c := range spec.Chunks {
+		for _, sd := range spec.Seeds {
+			grid = append(grid, gridPoint{chunk: c, seed: sd})
+		}
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if s.active >= s.opts.maxJobs() {
+		s.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	s.active++
+	s.nextID++
+	id := fmt.Sprintf("job-%d", s.nextID)
+	jctx, cancel := context.WithCancel(ctx)
+	j := &Job{
+		ID:      id,
+		sched:   s,
+		spec:    spec,
+		grid:    grid,
+		ctx:     jctx,
+		cancel:  cancel,
+		results: make(chan PointResult, len(grid)),
+	}
+	s.jobs[id] = j
+	s.mu.Unlock()
+
+	s.feedWG.Add(1)
+	go s.feed(j)
+	return j, nil
+}
+
+// Job returns a submitted job by ID (finished jobs stay queryable until
+// KeepJobs newer ones have finished).
+func (s *Scheduler) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Active returns the number of unfinished jobs.
+func (s *Scheduler) Active() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.active
+}
+
+// CacheStats reports the result cache counters plus the total number of
+// points actually simulated — the number a memoized resubmission leaves
+// unchanged.
+func (s *Scheduler) CacheStats() CacheStats {
+	s.mu.Lock()
+	c := s.cache
+	s.mu.Unlock()
+	var st CacheStats
+	if c != nil {
+		st = c.stats()
+	}
+	st.Simulations = s.sims.Load()
+	return st
+}
+
+// feed pushes the job's grid points to the worker pool, abandoning the
+// unfed tail as skipped if the job is cancelled first.
+func (s *Scheduler) feed(j *Job) {
+	defer s.feedWG.Done()
+	for i := range j.grid {
+		select {
+		case s.tasks <- pointTask{job: j, idx: i}:
+		case <-j.ctx.Done():
+			j.skip(len(j.grid) - i)
+			return
+		}
+	}
+}
+
+func (s *Scheduler) worker() {
+	defer s.workWG.Done()
+	for t := range s.tasks {
+		s.runTask(t)
+	}
+}
+
+func (s *Scheduler) runTask(t pointTask) {
+	j := t.job
+	pt := j.grid[t.idx]
+	if j.ctx.Err() != nil {
+		j.skip(1)
+		return
+	}
+	j.markStarted()
+	if hook := s.opts.BeforePoint; hook != nil {
+		hook(pt.chunk, pt.seed)
+		if j.ctx.Err() != nil {
+			j.skip(1)
+			return
+		}
+	}
+	// Instrumented jobs bypass the cache both ways: a memoized hit would
+	// skip the simulation the hook observes, and a hook-retained System
+	// must not be recorded as a reusable result.
+	cacheable := s.cache != nil && j.spec.Instrument == nil
+	var key [sha256.Size]byte
+	if cacheable {
+		key = pointKey(&j.spec, pt.chunk, pt.seed)
+		if r, ok := s.cache.get(key); ok {
+			r.Cached = true
+			j.deliver(r)
+			return
+		}
+	}
+	res := PointResult{SweepResult: runPoint(&j.spec, pt.chunk, pt.seed)}
+	s.sims.Add(1)
+	if cacheable {
+		s.cache.put(key, res)
+	}
+	j.deliver(res)
+}
+
+// release retires a finished job: frees its admission slot and prunes the
+// oldest finished jobs beyond KeepJobs.
+func (s *Scheduler) release(id string) {
+	s.mu.Lock()
+	s.active--
+	s.doneIDs = append(s.doneIDs, id)
+	for len(s.doneIDs) > s.opts.keepJobs() {
+		delete(s.jobs, s.doneIDs[0])
+		s.doneIDs = s.doneIDs[1:]
+	}
+	s.mu.Unlock()
+}
+
+type gridPoint struct {
+	chunk int
+	seed  int64
+}
+
+// JobState enumerates a job's lifecycle for status reporting.
+type JobState string
+
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobCancelled JobState = "cancelled"
+)
+
+// JobStatus is a point-in-time snapshot of a job's progress.
+type JobStatus struct {
+	ID        string   `json:"id"`
+	State     JobState `json:"state"`
+	Total     int      `json:"total"`
+	Completed int      `json:"completed"`
+	Failed    int      `json:"failed"`
+	Cached    int      `json:"cached"`
+	Skipped   int      `json:"skipped,omitempty"`
+}
+
+// Job is one submitted sweep: its grid points flow through the scheduler's
+// worker pool and stream out of Results in completion order.
+type Job struct {
+	ID    string
+	sched *Scheduler
+	spec  SweepSpec
+	grid  []gridPoint
+
+	ctx     context.Context
+	cancel  context.CancelFunc
+	results chan PointResult
+
+	mu        sync.Mutex
+	started   bool
+	delivered int
+	failed    int
+	cached    int
+	skipped   int
+	finished  bool
+}
+
+// Total returns the number of grid points in the job.
+func (j *Job) Total() int { return len(j.grid) }
+
+// Results streams the job's point results in completion order (not grid
+// order — sort by (Chunk, Seed) for the canonical ordering). The channel
+// closes when every point has been delivered or skipped; a cancelled
+// job's channel closes after the skipped tail is accounted.
+func (j *Job) Results() <-chan PointResult { return j.results }
+
+// Cancel stops the job: grid points not yet started are skipped, and the
+// results channel closes once in-flight points finish. Safe to call any
+// number of times, from any goroutine.
+func (j *Job) Cancel() { j.cancel() }
+
+// Status snapshots the job's progress.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:        j.ID,
+		Total:     len(j.grid),
+		Completed: j.delivered,
+		Failed:    j.failed,
+		Cached:    j.cached,
+		Skipped:   j.skipped,
+	}
+	switch {
+	case j.ctx.Err() != nil && (j.skipped > 0 || !j.finished):
+		st.State = JobCancelled
+	case j.finished:
+		st.State = JobDone
+	case !j.started:
+		st.State = JobQueued
+	default:
+		st.State = JobRunning
+	}
+	return st
+}
+
+func (j *Job) markStarted() {
+	j.mu.Lock()
+	j.started = true
+	j.mu.Unlock()
+}
+
+// deliver hands one point result to the consumer. The results channel is
+// buffered to the full grid, so a slow (or gone) consumer can never block
+// a worker.
+func (j *Job) deliver(r PointResult) {
+	j.results <- r
+	j.mu.Lock()
+	j.delivered++
+	if r.Err != nil {
+		j.failed++
+	}
+	if r.Cached {
+		j.cached++
+	}
+	fin := !j.finished && j.delivered+j.skipped == len(j.grid)
+	if fin {
+		j.finished = true
+	}
+	j.mu.Unlock()
+	if fin {
+		j.finish()
+	}
+}
+
+// skip accounts n grid points that will never run (cancellation).
+func (j *Job) skip(n int) {
+	j.mu.Lock()
+	j.skipped += n
+	fin := !j.finished && j.delivered+j.skipped == len(j.grid)
+	if fin {
+		j.finished = true
+	}
+	j.mu.Unlock()
+	if fin {
+		j.finish()
+	}
+}
+
+func (j *Job) finish() {
+	close(j.results)
+	j.cancel() // release the context's resources
+	j.sched.release(j.ID)
+}
+
+// pointKey canonicalizes everything that determines a grid point's result
+// — the scenario (kind, SPE count, op, list variant, chunk, volume), the
+// fully resolved machine configuration (fault config and derived fault
+// seed included) and the watchdog budget — into a content address. Two
+// submissions that would simulate identically hash identically, whatever
+// spec fields (Workers, Instrument, seed-list order) differ around them.
+func pointKey(spec *SweepSpec, chunk int, seed int64) [sha256.Size]byte {
+	cfg := pointConfig(spec, seed)
+	// The layout is a pure function of the seed; keying on the seed keeps
+	// the canonical form small and layout-representation independent.
+	cfg.Layout = nil
+	k := struct {
+		Scenario  cell.Scenario
+		Config    cell.Config
+		Seed      int64
+		MaxCycles sim.Time
+	}{spec.scenario(chunk), cfg, seed, spec.MaxCycles}
+	b, err := json.Marshal(k)
+	if err != nil {
+		// Scenario and Config are plain data; this cannot fail.
+		panic(fmt.Sprintf("core: canonicalizing point key: %v", err))
+	}
+	return sha256.Sum256(b)
+}
+
+// CacheStats are the result-cache counters.
+type CacheStats struct {
+	Entries   int   `json:"entries"`
+	Capacity  int   `json:"capacity"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	// Simulations counts grid points actually simulated by this
+	// scheduler since start — the number that stays flat when a
+	// resubmitted sweep is served entirely from the cache.
+	Simulations int64 `json:"simulations"`
+}
+
+// pointCache is a bounded LRU of point results keyed by content address.
+type pointCache struct {
+	mu        sync.Mutex
+	cap       int
+	entries   map[[sha256.Size]byte]*list.Element
+	order     *list.List // front = most recently used
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type cacheEntry struct {
+	key [sha256.Size]byte
+	res PointResult
+}
+
+func newPointCache(capacity int) *pointCache {
+	return &pointCache{
+		cap:     capacity,
+		entries: make(map[[sha256.Size]byte]*list.Element),
+		order:   list.New(),
+	}
+}
+
+func (c *pointCache) get(key [sha256.Size]byte) (PointResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return PointResult{}, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+func (c *pointCache) put(key [sha256.Size]byte, res PointResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	for len(c.entries) > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+func (c *pointCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   len(c.entries),
+		Capacity:  c.cap,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

@@ -1,10 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
-	"sync"
 
 	"cellbe/internal/cell"
 	"cellbe/internal/sim"
@@ -37,9 +37,12 @@ type SweepSpec struct {
 	// GOMAXPROCS.
 	Workers int
 	// Base overrides the machine configuration; nil means
-	// cell.DefaultConfig. Fault injection sweeps set Base.Faults (the
-	// per-point layout seed also seeds the injector unless Base.FaultSeed
-	// is set).
+	// cell.DefaultConfig. The scheduler snapshots it (cell.Config.Clone)
+	// when the sweep is submitted, so the caller may keep mutating the
+	// pointed-to Config afterwards without racing the workers. Fault
+	// injection sweeps set Base.Faults; the per-point fault seed derives
+	// from the layout seed via DeriveFaultSeed unless Base.FaultSeed is
+	// set.
 	Base *cell.Config
 	// MaxCycles is the watchdog budget per grid point (0 = unlimited).
 	MaxCycles sim.Time
@@ -48,7 +51,16 @@ type SweepSpec struct {
 	// attach a tracer or metrics sampler to one chosen point. It executes
 	// on a worker goroutine: an Instrument that touches shared state must
 	// target a single (chunk, seed) point, or synchronize.
-	Instrument func(chunk int, seed int64, sys *cell.System)
+	//
+	// The return value is the retention contract: return true to keep the
+	// System alive past the point's lifetime (tracers and samplers read it
+	// after the sweep joins) — its pooled buffers are then never recycled.
+	// Return false and the scheduler releases the System exactly as it
+	// does for uninstrumented points, so instrumenting one grid point does
+	// not leak the local-store buffers of every other point in the grid.
+	// Jobs with an Instrument hook bypass the result cache: a memoized
+	// point would skip the simulation the hook exists to observe.
+	Instrument func(chunk int, seed int64, sys *cell.System) bool
 }
 
 // SweepResult is the outcome of one (chunk, seed) grid point.
@@ -60,6 +72,10 @@ type SweepResult struct {
 	Transfers  int64
 	WaitCycles sim.Time
 	Commands   int64
+	// FaultSeed is the injector seed this point actually ran with: the
+	// explicit Base.FaultSeed, or the seed DeriveFaultSeed derived from
+	// the layout seed. Zero when fault injection is off.
+	FaultSeed int64
 	// Err records why this grid point failed (deadlock diagnostic,
 	// recovered panic, ...); the rest of the sweep still runs. Numeric
 	// fields are zero when Err is set.
@@ -70,6 +86,27 @@ type SweepResult struct {
 	// reporting flows through the result so output is serialized and
 	// deterministic regardless of worker count.
 	Log []string
+}
+
+// identityFaultSeed is the derived fault seed of layout seed 0. Any fixed
+// non-zero value works; it only has to be distinguishable from the
+// FaultSeed == 0 "derive me" sentinel and implausible as a user-swept
+// layout seed.
+const identityFaultSeed int64 = 0x5eed_fa17_0001
+
+// DeriveFaultSeed maps a grid point's layout seed to the fault-injector
+// seed used when the sweep's config leaves FaultSeed at 0 ("derive from
+// the layout seed"). Non-zero layout seeds pass through unchanged, so the
+// fault stream sweeps alongside the layouts; layout seed 0 (the identity
+// layout) maps to a fixed non-zero constant instead, because FaultSeed 0
+// is the "unset" sentinel — passing it through would leave the seed-0
+// point's config claiming "derive me" while actually pinning stream 0,
+// and -fault-seed 0 on the CLIs could never reproduce it explicitly.
+func DeriveFaultSeed(layoutSeed int64) int64 {
+	if layoutSeed != 0 {
+		return layoutSeed
+	}
+	return identityFaultSeed
 }
 
 // validate rejects impossible grids before any goroutine spawns.
@@ -97,116 +134,107 @@ func (s SweepSpec) scenario(chunk int) cell.Scenario {
 	return cell.Scenario{Kind: s.Scenario, SPEs: s.SPEs, Chunk: chunk, Volume: s.Volume, Op: op, List: s.List}
 }
 
+// pointConfig resolves the machine configuration one grid point runs on:
+// the snapshotted base (or the default), with the point's layout and — for
+// faulty sweeps that left FaultSeed unset — the derived fault seed. The
+// base is cloned per point so concurrent workers never share the Layout
+// slice (or any future reference field) through the spec.
+func pointConfig(spec *SweepSpec, seed int64) cell.Config {
+	cfg := cell.DefaultConfig()
+	if spec.Base != nil {
+		cfg = spec.Base.Clone()
+	}
+	cfg.Layout = cell.RandomLayout(seed)
+	if cfg.Faults.Enabled() && cfg.FaultSeed == 0 {
+		// Tie the fault stream to the grid point so seeds sweep fault
+		// patterns alongside layouts, deterministically.
+		cfg.FaultSeed = DeriveFaultSeed(seed)
+	}
+	return cfg
+}
+
+// runPoint simulates one grid point. Any failure — an install error, a
+// watchdog deadlock, or a panic anywhere inside the simulation — is
+// contained to this point's Err so one bad point cannot kill the sweep
+// (or, worse, a worker goroutine and with it the whole process).
+func runPoint(spec *SweepSpec, chunk int, seed int64) (res SweepResult) {
+	res = SweepResult{Chunk: chunk, Seed: seed}
+	defer func() {
+		if r := recover(); r != nil {
+			if err, ok := r.(error); ok {
+				res.Err = fmt.Errorf("core: grid point chunk=%d seed=%d panicked: %w", chunk, seed, err)
+			} else {
+				res.Err = fmt.Errorf("core: grid point chunk=%d seed=%d panicked: %v", chunk, seed, r)
+			}
+			res.Log = append(res.Log, res.Err.Error())
+		}
+	}()
+	cfg := pointConfig(spec, seed)
+	if cfg.Faults.Enabled() {
+		res.FaultSeed = cfg.FaultSeed
+	}
+	sys := cell.New(cfg)
+	retained := false
+	if spec.Instrument != nil {
+		retained = spec.Instrument(chunk, seed, sys)
+	}
+	if !retained {
+		// The system dies with this point, so recycle its buffers. An
+		// Instrument hook opts out per point by returning true: it kept
+		// the system (tracers, samplers) past the point's lifetime.
+		defer sys.Release()
+	}
+	total, err := spec.scenario(chunk).Install(sys)
+	if err != nil {
+		res.Err = err
+		res.Log = append(res.Log, err.Error())
+		return res
+	}
+	if err := sys.RunChecked(spec.MaxCycles); err != nil {
+		res.Err = err
+		res.Log = append(res.Log,
+			fmt.Sprintf("layout %v", sys.Layout()), err.Error())
+		return res
+	}
+	st := sys.Bus.Stats()
+	res.Cycles = sys.Eng.Now()
+	res.GBps = sys.GBps(total, sys.Eng.Now())
+	res.Transfers = st.Transfers
+	res.WaitCycles = st.WaitCycles
+	res.Commands = st.Commands
+	return res
+}
+
 // RunSweep executes every (chunk, seed) grid point of spec, fanning the
 // independent simulations across worker goroutines, and returns results
 // sorted by (chunk, seed). The result of each point is bit-identical
 // regardless of Workers: each simulation owns its engine, and workers
 // only write disjoint slice slots.
+//
+// RunSweep is the one-shot facade over the job scheduler: it builds a
+// private Scheduler (no result cache — a one-shot sweep never resubmits a
+// point), submits the spec as a single job and drains it. Long-running
+// callers (cellserve) construct a shared Scheduler instead and get
+// memoization, admission control and cancellation on top of the same
+// worker pool.
 func RunSweep(spec SweepSpec) ([]SweepResult, error) {
-	if err := spec.validate(); err != nil {
-		return nil, err
-	}
-	type point struct {
-		chunk int
-		seed  int64
-	}
-	var grid []point
-	for _, c := range spec.Chunks {
-		for _, sd := range spec.Seeds {
-			grid = append(grid, point{chunk: c, seed: sd})
-		}
-	}
-	out := make([]SweepResult, len(grid))
 	workers := spec.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(grid) {
-		workers = len(grid)
+	if n := len(spec.Chunks) * len(spec.Seeds); n > 0 && workers > n {
+		workers = n
 	}
-
-	// runPoint simulates one grid point. Any failure — an install error, a
-	// watchdog deadlock, or a panic anywhere inside the simulation — is
-	// contained to this point's Err so one bad point cannot kill the
-	// sweep (or, worse, a worker goroutine and with it the whole
-	// process).
-	runPoint := func(pt point) (res SweepResult) {
-		res = SweepResult{Chunk: pt.chunk, Seed: pt.seed}
-		defer func() {
-			if r := recover(); r != nil {
-				if err, ok := r.(error); ok {
-					res.Err = fmt.Errorf("core: grid point chunk=%d seed=%d panicked: %w", pt.chunk, pt.seed, err)
-				} else {
-					res.Err = fmt.Errorf("core: grid point chunk=%d seed=%d panicked: %v", pt.chunk, pt.seed, r)
-				}
-				res.Log = append(res.Log, res.Err.Error())
-			}
-		}()
-		cfg := cell.DefaultConfig()
-		if spec.Base != nil {
-			cfg = *spec.Base
-		}
-		cfg.Layout = cell.RandomLayout(pt.seed)
-		if cfg.Faults.Enabled() && cfg.FaultSeed == 0 {
-			// Tie the fault stream to the grid point so seeds sweep fault
-			// patterns alongside layouts, deterministically.
-			cfg.FaultSeed = pt.seed
-		}
-		sys := cell.New(cfg)
-		if spec.Instrument == nil {
-			// The system dies with this point, so recycle its buffers.
-			// Instrumented points opt out: the hook may retain the system
-			// (tracers, samplers) past the point's lifetime.
-			defer sys.Release()
-		} else {
-			spec.Instrument(pt.chunk, pt.seed, sys)
-		}
-		total, err := spec.scenario(pt.chunk).Install(sys)
-		if err != nil {
-			res.Err = err
-			res.Log = append(res.Log, err.Error())
-			return res
-		}
-		if err := sys.RunChecked(spec.MaxCycles); err != nil {
-			res.Err = err
-			res.Log = append(res.Log,
-				fmt.Sprintf("layout %v", sys.Layout()), err.Error())
-			return res
-		}
-		st := sys.Bus.Stats()
-		res.Cycles = sys.Eng.Now()
-		res.GBps = sys.GBps(total, sys.Eng.Now())
-		res.Transfers = st.Transfers
-		res.WaitCycles = st.WaitCycles
-		res.Commands = st.Commands
-		return res
+	s := NewScheduler(SchedOptions{Workers: workers, MaxJobs: 1})
+	defer s.Close()
+	job, err := s.Submit(context.Background(), spec)
+	if err != nil {
+		return nil, err
 	}
-
-	if workers <= 1 {
-		for i, pt := range grid {
-			out[i] = runPoint(pt)
-		}
-	} else {
-		var (
-			wg   sync.WaitGroup
-			next = make(chan int)
-		)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range next {
-					out[i] = runPoint(grid[i])
-				}
-			}()
-		}
-		for i := range grid {
-			next <- i
-		}
-		close(next)
-		wg.Wait()
+	out := make([]SweepResult, 0, job.Total())
+	for pr := range job.Results() {
+		out = append(out, pr.SweepResult)
 	}
-
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Chunk != out[j].Chunk {
 			return out[i].Chunk < out[j].Chunk

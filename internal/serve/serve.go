@@ -1,0 +1,476 @@
+// Package serve exposes the core job scheduler over HTTP/JSON: sweep
+// submission with streamed results, job status and cancellation, cache
+// statistics and health. It is the cellserve binary's handler layer,
+// kept separate so httptest can drive it in-process.
+//
+// The server degrades instead of dying: a full job queue answers 429
+// with Retry-After, over-budget clients answer 429, and a grid point
+// that deadlocks or panics comes back as a structured error body
+// carrying the watchdog's diagnostic log — the worker that ran it
+// stays alive for the next request.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"time"
+
+	"cellbe/internal/cell"
+	"cellbe/internal/core"
+	"cellbe/internal/fault"
+	"cellbe/internal/sim"
+)
+
+// Options configures a Server. Sched is the only required field; the
+// caller owns its lifetime (cellserve closes it after HTTP shutdown so
+// in-flight jobs drain first).
+type Options struct {
+	// Sched runs the simulations. Required.
+	Sched *core.Scheduler
+	// RatePerSec and RateBurst shape the per-client token bucket guarding
+	// the submission endpoints; RatePerSec <= 0 disables rate limiting.
+	// Clients are keyed by X-API-Key when present, else by remote host.
+	RatePerSec float64
+	RateBurst  int
+	// MaxPoints caps the grid size of one request; <= 0 defaults to 4096.
+	MaxPoints int
+	// MaxCycles caps (and, when a request leaves its budget unset,
+	// supplies) the per-point watchdog budget, so a wedged scenario
+	// terminates with a deadlock diagnostic instead of pinning a worker
+	// forever. 0 leaves request budgets alone.
+	MaxCycles sim.Time
+	// MaxVolume caps the per-SPE byte volume of one request; <= 0
+	// defaults to 64 MiB.
+	MaxVolume int64
+	// MaxBody caps the request body; <= 0 defaults to 1 MiB.
+	MaxBody int64
+}
+
+func (o Options) maxPoints() int {
+	if o.MaxPoints <= 0 {
+		return 4096
+	}
+	return o.MaxPoints
+}
+
+func (o Options) maxVolume() int64 {
+	if o.MaxVolume <= 0 {
+		return 64 << 20
+	}
+	return o.MaxVolume
+}
+
+func (o Options) maxBody() int64 {
+	if o.MaxBody <= 0 {
+		return 1 << 20
+	}
+	return o.MaxBody
+}
+
+// Server is the HTTP handler set. Create with New.
+type Server struct {
+	opts    Options
+	sched   *core.Scheduler
+	limiter *rateLimiter
+	mux     *http.ServeMux
+}
+
+// New builds the handler set over opts.Sched.
+func New(opts Options) *Server {
+	s := &Server{
+		opts:  opts,
+		sched: opts.Sched,
+	}
+	if opts.RatePerSec > 0 {
+		s.limiter = newRateLimiter(opts.RatePerSec, opts.RateBurst)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
+	mux.HandleFunc("POST /v1/scenarios", s.handleScenario)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("GET /v1/cache", s.handleCache)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux = mux
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// SweepRequest is the submission body for /v1/sweeps and /v1/scenarios.
+// Seeds may be listed explicitly or expanded from seed_count/first_seed
+// (the cellbench convention); faults is a fault.ParseSpec string like
+// "mfc=0.01,xdr=0.05".
+type SweepRequest struct {
+	Scenario  string       `json:"scenario"`
+	SPEs      int          `json:"spes"`
+	Op        string       `json:"op,omitempty"`
+	List      bool         `json:"list,omitempty"`
+	Chunks    []int        `json:"chunks"`
+	Seeds     []int64      `json:"seeds,omitempty"`
+	SeedCount int          `json:"seed_count,omitempty"`
+	FirstSeed int64        `json:"first_seed,omitempty"`
+	Volume    int64        `json:"volume"`
+	MaxCycles sim.Time     `json:"max_cycles,omitempty"`
+	Faults    string       `json:"faults,omitempty"`
+	FaultSeed int64        `json:"fault_seed,omitempty"`
+	Config    *cell.Config `json:"config,omitempty"`
+}
+
+// Point is one grid point on the wire. Failed points carry error/code/log
+// instead of the numeric fields.
+type Point struct {
+	Chunk      int      `json:"chunk"`
+	Seed       int64    `json:"seed"`
+	Cycles     sim.Time `json:"cycles,omitempty"`
+	GBps       float64  `json:"gbps,omitempty"`
+	Transfers  int64    `json:"transfers,omitempty"`
+	WaitCycles sim.Time `json:"wait_cycles,omitempty"`
+	Commands   int64    `json:"commands,omitempty"`
+	FaultSeed  int64    `json:"fault_seed,omitempty"`
+	Cached     bool     `json:"cached,omitempty"`
+	Error      string   `json:"error,omitempty"`
+	Code       string   `json:"code,omitempty"`
+	Log        []string `json:"log,omitempty"`
+}
+
+func toPoint(pr core.PointResult) Point {
+	p := Point{
+		Chunk:      pr.Chunk,
+		Seed:       pr.Seed,
+		Cycles:     pr.Cycles,
+		GBps:       pr.GBps,
+		Transfers:  pr.Transfers,
+		WaitCycles: pr.WaitCycles,
+		Commands:   pr.Commands,
+		FaultSeed:  pr.FaultSeed,
+		Cached:     pr.Cached,
+	}
+	if pr.Err != nil {
+		p.Error = pr.Err.Error()
+		p.Code = errCode(pr.Err)
+		p.Log = pr.Log
+	}
+	return p
+}
+
+// errCode classifies a grid point failure for clients that branch on
+// failure mode rather than parsing error strings.
+func errCode(err error) string {
+	var dl *sim.DeadlockError
+	if errors.As(err, &dl) {
+		return "deadlock"
+	}
+	var pp *sim.ProcessPanic
+	if errors.As(err, &pp) {
+		return "panic"
+	}
+	return "failed"
+}
+
+// errorBody is the uniform JSON error envelope.
+type errorBody struct {
+	Error string   `json:"error"`
+	Code  string   `json:"code"`
+	Log   []string `json:"log,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, errorBody{Error: msg, Code: code})
+}
+
+// clientKey identifies the caller for rate limiting: the API key when
+// one is presented, otherwise the remote host.
+func clientKey(r *http.Request) string {
+	if k := r.Header.Get("X-API-Key"); k != "" {
+		return "key:" + k
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		host = r.RemoteAddr
+	}
+	return "addr:" + host
+}
+
+// admit runs the rate limiter for submission endpoints. It reports
+// whether the request may proceed, answering 429 itself when not.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
+	ok, wait := s.limiter.allow(clientKey(r))
+	if ok {
+		return true
+	}
+	secs := int(wait/time.Second) + 1
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	writeError(w, http.StatusTooManyRequests, "rate_limited",
+		fmt.Sprintf("client over rate limit; retry in %ds", secs))
+	return false
+}
+
+// decode parses a submission body into req, answering 400 itself on
+// malformed input.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, req *SweepRequest) bool {
+	body := http.MaxBytesReader(w, r.Body, s.opts.maxBody())
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "decoding request: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// spec turns a request into a validated SweepSpec, enforcing the
+// server's grid, volume and cycle-budget caps.
+func (s *Server) spec(req *SweepRequest) (core.SweepSpec, error) {
+	seeds := req.Seeds
+	if len(seeds) == 0 {
+		n := req.SeedCount
+		if n <= 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			seeds = append(seeds, req.FirstSeed+int64(i))
+		}
+	}
+	if len(req.Chunks) == 0 {
+		return core.SweepSpec{}, fmt.Errorf("chunks: at least one chunk size required")
+	}
+	if grid := len(req.Chunks) * len(seeds); grid > s.opts.maxPoints() {
+		return core.SweepSpec{}, fmt.Errorf("grid of %d points exceeds the server's limit of %d",
+			grid, s.opts.maxPoints())
+	}
+	if req.Volume > s.opts.maxVolume() {
+		return core.SweepSpec{}, fmt.Errorf("volume %d exceeds the server's limit of %d",
+			req.Volume, s.opts.maxVolume())
+	}
+	cfg := cell.DefaultConfig()
+	if req.Config != nil {
+		cfg = req.Config.Clone()
+	}
+	if req.Faults != "" {
+		fc, err := fault.ParseSpec(req.Faults)
+		if err != nil {
+			return core.SweepSpec{}, fmt.Errorf("faults: %w", err)
+		}
+		cfg.Faults = fc
+	}
+	if req.FaultSeed != 0 {
+		cfg.FaultSeed = req.FaultSeed
+	}
+	budget := req.MaxCycles
+	if limit := s.opts.MaxCycles; limit > 0 && (budget <= 0 || budget > limit) {
+		budget = limit
+	}
+	return core.SweepSpec{
+		Scenario:  req.Scenario,
+		SPEs:      req.SPEs,
+		Op:        req.Op,
+		List:      req.List,
+		Chunks:    req.Chunks,
+		Seeds:     seeds,
+		Volume:    req.Volume,
+		Base:      &cfg,
+		MaxCycles: budget,
+	}, nil
+}
+
+// submit runs admission + decoding + scheduling for the submission
+// endpoints, answering the error responses itself. A nil job means the
+// response is already written.
+func (s *Server) submit(w http.ResponseWriter, r *http.Request) *core.Job {
+	if !s.admit(w, r) {
+		return nil
+	}
+	var req SweepRequest
+	if !s.decode(w, r, &req) {
+		return nil
+	}
+	spec, err := s.spec(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		return nil
+	}
+	// The request context drives the job: a client that disconnects
+	// mid-stream cancels its remaining grid points.
+	job, err := s.sched.Submit(r.Context(), spec)
+	switch {
+	case err == nil:
+		return job
+	case errors.Is(err, core.ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "queue_full",
+			"job queue is full; retry shortly")
+	case errors.Is(err, core.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "shutting_down",
+			"scheduler is shutting down")
+	default:
+		writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+	}
+	return nil
+}
+
+// sweepHeader opens an NDJSON stream; sweepTrailer closes it.
+type sweepHeader struct {
+	Job    string `json:"job"`
+	Points int    `json:"points"`
+}
+
+type sweepTrailer struct {
+	Done      bool `json:"done"`
+	Completed int  `json:"completed"`
+	Failed    int  `json:"failed"`
+	Cached    int  `json:"cached"`
+	Skipped   int  `json:"skipped"`
+}
+
+// handleSweep submits a sweep. The default response is an NDJSON stream
+// — one header line, one line per grid point as it completes, one
+// trailer line — so a client watches a long sweep land point by point.
+// ?wait=1 buffers instead and answers one JSON document: 200 when every
+// point succeeded, 207 when some failed.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	job := s.submit(w, r)
+	if job == nil {
+		return
+	}
+	w.Header().Set("X-Job-Id", job.ID)
+	if r.URL.Query().Get("wait") != "" {
+		s.sweepWait(w, job)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	enc.Encode(sweepHeader{Job: job.ID, Points: job.Total()})
+	flush()
+	for pr := range job.Results() {
+		enc.Encode(toPoint(pr))
+		flush()
+	}
+	st := job.Status()
+	enc.Encode(sweepTrailer{
+		Done:      true,
+		Completed: st.Completed,
+		Failed:    st.Failed,
+		Cached:    st.Cached,
+		Skipped:   st.Skipped,
+	})
+	flush()
+}
+
+// sweepResponse is the buffered (?wait=1) sweep answer.
+type sweepResponse struct {
+	Job     string         `json:"job"`
+	Status  core.JobStatus `json:"status"`
+	Results []Point        `json:"results"`
+}
+
+func (s *Server) sweepWait(w http.ResponseWriter, job *core.Job) {
+	var points []Point
+	failed := 0
+	for pr := range job.Results() {
+		if pr.Err != nil {
+			failed++
+		}
+		points = append(points, toPoint(pr))
+	}
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].Chunk != points[j].Chunk {
+			return points[i].Chunk < points[j].Chunk
+		}
+		return points[i].Seed < points[j].Seed
+	})
+	status := http.StatusOK
+	if failed > 0 {
+		status = http.StatusMultiStatus
+	}
+	writeJSON(w, status, sweepResponse{Job: job.ID, Status: job.Status(), Results: points})
+}
+
+// handleScenario runs one grid point synchronously. A deadlocked or
+// panicking simulation answers 422 with the watchdog's diagnostic log in
+// the body — the server (and the worker that ran the point) keeps
+// serving.
+func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
+	job := s.submit(w, r)
+	if job == nil {
+		return
+	}
+	if job.Total() != 1 {
+		// More than one point is a sweep; the stream endpoint owns those.
+		job.Cancel()
+		for range job.Results() {
+		}
+		writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("scenario request resolves to %d grid points, want exactly 1 (use /v1/sweeps)", job.Total()))
+		return
+	}
+	w.Header().Set("X-Job-Id", job.ID)
+	var res core.PointResult
+	ok := false
+	for pr := range job.Results() {
+		res, ok = pr, true
+	}
+	if !ok {
+		// Client went away before the point ran; nobody reads this.
+		writeError(w, http.StatusRequestTimeout, "cancelled", "request cancelled before the point ran")
+		return
+	}
+	if res.Err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, errorBody{
+			Error: res.Err.Error(),
+			Code:  errCode(res.Err),
+			Log:   res.Log,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, toPoint(res))
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.sched.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.sched.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", "no such job")
+		return
+	}
+	job.Cancel()
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.sched.CacheStats())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":          true,
+		"active_jobs": s.sched.Active(),
+	})
+}
