@@ -122,27 +122,40 @@ type System struct {
 	pktFree   *pktDone // free list of packet completion records (engine is single-threaded)
 }
 
+// Validate reports why the configuration cannot build a System, nil when
+// it can. New panics on exactly these conditions; callers assembling a
+// Config from untrusted input (the serve layer) validate first so a bad
+// request fails with an error instead of a recovered panic.
+func (c Config) Validate() error {
+	if c.ClockGHz <= 0 {
+		return fmt.Errorf("cell: clock must be positive")
+	}
+	if c.Layout != nil {
+		if len(c.Layout) != NumSPEs {
+			return fmt.Errorf("cell: layout must have %d entries", NumSPEs)
+		}
+		seen := make(map[int]bool)
+		for _, p := range c.Layout {
+			if p < 0 || p >= NumSPEs || seen[p] {
+				return fmt.Errorf("cell: layout %v is not a permutation", c.Layout)
+			}
+			seen[p] = true
+		}
+	}
+	if c.LSSpan < spe.LocalStoreBytes || c.LSBase < c.Mem.TotalBytes {
+		return fmt.Errorf("cell: LS mapping overlaps RAM")
+	}
+	return nil
+}
+
 // New builds a system from cfg.
 func New(cfg Config) *System {
-	if cfg.ClockGHz <= 0 {
-		panic("cell: clock must be positive")
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
 	}
 	layout := cfg.Layout
 	if layout == nil {
 		layout = RandomLayout(0)
-	}
-	if len(layout) != NumSPEs {
-		panic(fmt.Sprintf("cell: layout must have %d entries", NumSPEs))
-	}
-	seen := make(map[int]bool)
-	for _, p := range layout {
-		if p < 0 || p >= NumSPEs || seen[p] {
-			panic(fmt.Sprintf("cell: layout %v is not a permutation", layout))
-		}
-		seen[p] = true
-	}
-	if cfg.LSSpan < spe.LocalStoreBytes || cfg.LSBase < cfg.Mem.TotalBytes {
-		panic("cell: LS mapping overlaps RAM")
 	}
 
 	eng := sim.NewEngine()

@@ -187,9 +187,13 @@ func (s *Scheduler) Submit(ctx context.Context, spec SweepSpec) (*Job, error) {
 		results: make(chan PointResult, len(grid)),
 	}
 	s.jobs[id] = j
+	// Register the feeder before releasing the lock: Close checks the
+	// closed flag and waits on feedWG under the same ordering, so it can
+	// never observe a zero count, close(s.tasks), and then race a feed
+	// goroutine spawned by a Submit it already admitted.
+	s.feedWG.Add(1)
 	s.mu.Unlock()
 
-	s.feedWG.Add(1)
 	go s.feed(j)
 	return j, nil
 }

@@ -327,3 +327,39 @@ func faultyRunCycles(t *testing.T, base cell.Config, layoutSeed, faultSeed int64
 	}
 	return sys.Eng.Now()
 }
+
+// TestSchedulerSubmitCloseRace: Submit registers its feeder with the
+// scheduler's WaitGroup inside the admission critical section, so a
+// concurrent Close either rejects the submission with ErrClosed or waits
+// for its feed goroutine — it must never close the task channel under a
+// feeder that then sends on it (a panic). Run with -race.
+func TestSchedulerSubmitCloseRace(t *testing.T) {
+	for iter := 0; iter < 50; iter++ {
+		s := NewScheduler(SchedOptions{Workers: 2, MaxJobs: 8})
+		spec := sweepSpec(0)
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				j, err := s.Submit(context.Background(), spec)
+				if err != nil {
+					if !errors.Is(err, ErrClosed) && !errors.Is(err, ErrQueueFull) {
+						t.Errorf("Submit: %v", err)
+					}
+					return
+				}
+				for range j.Results() {
+				}
+			}()
+		}
+		close(start)
+		s.Close() // races the submitters; must not panic
+		wg.Wait()
+		if _, err := s.Submit(context.Background(), spec); !errors.Is(err, ErrClosed) {
+			t.Fatalf("Submit after Close: %v, want ErrClosed", err)
+		}
+	}
+}

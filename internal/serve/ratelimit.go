@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"container/list"
 	"sync"
 	"time"
 )
@@ -8,24 +9,32 @@ import (
 // rateLimiter is a per-client token bucket: each key accrues rate tokens
 // per second up to burst, and a submission spends one. Zero rate means
 // unlimited. Keys are whatever the caller identifies clients by (API key
-// or remote host); the bucket map is bounded by pruning full buckets, so
-// an address-spraying client cannot grow it without bound.
+// or remote host).
+//
+// The bucket table is a hard-capped LRU: when an insert would exceed max
+// it first forgets buckets that have refilled to burst (they carry no
+// state), then evicts the least-recently-used entries regardless of
+// fill. A client spraying unique keys therefore bounds memory, not the
+// server — the cost is that an evicted client's spent tokens are
+// forgotten, which the Server's coarser per-host bucket backstops.
 type rateLimiter struct {
 	rate  float64 // tokens per second
 	burst float64
+	max   int              // hard cap on tracked buckets
 	now   func() time.Time // injectable for tests
 
 	mu      sync.Mutex
-	buckets map[string]*bucket
+	buckets map[string]*list.Element
+	order   *list.List // front = most recently used
 }
 
 type bucket struct {
+	key    string
 	tokens float64
 	last   time.Time
 }
 
-// maxBuckets bounds the limiter's memory; beyond it, buckets that have
-// refilled to burst carry no state worth keeping and are pruned.
+// maxBuckets is the default hard cap on the limiter's bucket table.
 const maxBuckets = 4096
 
 func newRateLimiter(rate float64, burst int) *rateLimiter {
@@ -35,8 +44,10 @@ func newRateLimiter(rate float64, burst int) *rateLimiter {
 	return &rateLimiter{
 		rate:    rate,
 		burst:   float64(burst),
+		max:     maxBuckets,
 		now:     time.Now,
-		buckets: make(map[string]*bucket),
+		buckets: make(map[string]*list.Element),
+		order:   list.New(),
 	}
 }
 
@@ -50,13 +61,16 @@ func (l *rateLimiter) allow(key string) (bool, time.Duration) {
 	now := l.now()
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	b, ok := l.buckets[key]
-	if !ok {
-		if len(l.buckets) >= maxBuckets {
-			l.prune(now)
+	var b *bucket
+	if el, ok := l.buckets[key]; ok {
+		l.order.MoveToFront(el)
+		b = el.Value.(*bucket)
+	} else {
+		if len(l.buckets) >= l.max {
+			l.evict(now)
 		}
-		b = &bucket{tokens: l.burst, last: now}
-		l.buckets[key] = b
+		b = &bucket{key: key, tokens: l.burst, last: now}
+		l.buckets[key] = l.order.PushFront(b)
 	}
 	b.tokens += now.Sub(b.last).Seconds() * l.rate
 	if b.tokens > l.burst {
@@ -71,12 +85,28 @@ func (l *rateLimiter) allow(key string) (bool, time.Duration) {
 	return true, 0
 }
 
-// prune drops buckets that have refilled to burst: they are
-// indistinguishable from absent ones. Called with mu held.
-func (l *rateLimiter) prune(now time.Time) {
-	for k, b := range l.buckets {
+// evict makes room for one insert with mu held: first drop buckets that
+// have refilled to burst (indistinguishable from absent ones), then, if
+// the table is still at the cap, drop least-recently-used entries until
+// it is below it.
+func (l *rateLimiter) evict(now time.Time) {
+	for k, el := range l.buckets {
+		b := el.Value.(*bucket)
 		if b.tokens+now.Sub(b.last).Seconds()*l.rate >= l.burst {
+			l.order.Remove(el)
 			delete(l.buckets, k)
 		}
 	}
+	for len(l.buckets) >= l.max {
+		oldest := l.order.Back()
+		l.order.Remove(oldest)
+		delete(l.buckets, oldest.Value.(*bucket).key)
+	}
+}
+
+// size reports the tracked-bucket count, for tests.
+func (l *rateLimiter) size() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buckets)
 }

@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestRateLimiterHardCap: a client spraying unique keys must not grow the
+// bucket table past its cap — the LRU eviction is a hard bound, not a
+// best-effort prune of refilled buckets.
+func TestRateLimiterHardCap(t *testing.T) {
+	l := newRateLimiter(0.001, 1) // so slow nothing refills during the test
+	l.max = 64
+	now := time.Unix(0, 0)
+	l.now = func() time.Time { return now }
+
+	for i := 0; i < 10*l.max; i++ {
+		if ok, _ := l.allow(fmt.Sprintf("key:spray-%d", i)); !ok {
+			t.Fatalf("fresh key %d denied its burst token", i)
+		}
+		if n := l.size(); n > l.max {
+			t.Fatalf("bucket table grew to %d after %d sprayed keys, cap is %d", n, i+1, l.max)
+		}
+	}
+}
+
+// TestRateLimiterEvictsRefilledFirst: when the table is full, buckets
+// that have refilled to burst (no state worth keeping) go before
+// still-draining ones, so active clients keep their spent-token history.
+func TestRateLimiterEvictsRefilledFirst(t *testing.T) {
+	l := newRateLimiter(1, 2)
+	l.max = 3
+	now := time.Unix(0, 0)
+	l.now = func() time.Time { return now }
+
+	l.allow("active")
+	now = now.Add(10 * time.Second)
+	l.allow("idle-1") // 1 of 2 tokens left
+	l.allow("active") // refilled to burst by the 10s gap...
+	l.allow("active") // ...then drained to 0
+	l.allow("idle-2") // table full: active (0 tokens), idle-1 (1), idle-2 (1)
+
+	// 1.5s refills the idle buckets to burst (1 + 1.5 >= 2) but leaves
+	// active below it (0 + 1.5 < 2): eviction must drop the idle pair and
+	// keep active's drained state.
+	now = now.Add(1500 * time.Millisecond)
+	l.allow("fresh")
+
+	if ok, _ := l.allow("active"); !ok {
+		t.Fatal("active bucket should have 1.5 tokens (it was never refilled to burst)")
+	}
+	if ok, _ := l.allow("active"); ok {
+		t.Fatal("active bucket kept across eviction should be drained now — was it reset?")
+	}
+}
+
+// TestRateLimiterRetryAfter: a denied request reports a positive wait
+// that actually lands a token.
+func TestRateLimiterRetryAfter(t *testing.T) {
+	l := newRateLimiter(2, 1)
+	now := time.Unix(0, 0)
+	l.now = func() time.Time { return now }
+
+	if ok, _ := l.allow("k"); !ok {
+		t.Fatal("burst token denied")
+	}
+	ok, wait := l.allow("k")
+	if ok {
+		t.Fatal("empty bucket allowed a request")
+	}
+	if wait <= 0 || wait > time.Second {
+		t.Fatalf("wait %v, want in (0, 500ms] for rate 2/s", wait)
+	}
+	now = now.Add(wait)
+	if ok, _ := l.allow("k"); !ok {
+		t.Fatal("request denied after waiting the reported Retry-After")
+	}
+}

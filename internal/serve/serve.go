@@ -11,6 +11,7 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -34,6 +35,10 @@ type Options struct {
 	// RatePerSec and RateBurst shape the per-client token bucket guarding
 	// the submission endpoints; RatePerSec <= 0 disables rate limiting.
 	// Clients are keyed by X-API-Key when present, else by remote host.
+	// Because the API key is client-chosen, every request also spends
+	// from a coarser per-host bucket with hostRateFactor times the
+	// budget, so spraying fresh keys from one address cannot mint
+	// unlimited bursts.
 	RatePerSec float64
 	RateBurst  int
 	// MaxPoints caps the grid size of one request; <= 0 defaults to 4096.
@@ -71,12 +76,18 @@ func (o Options) maxBody() int64 {
 	return o.MaxBody
 }
 
+// hostRateFactor scales the per-host rate limit relative to the
+// per-client one: a single address gets at most this many clients' worth
+// of budget, however many distinct API keys it presents.
+const hostRateFactor = 16
+
 // Server is the HTTP handler set. Create with New.
 type Server struct {
-	opts    Options
-	sched   *core.Scheduler
-	limiter *rateLimiter
-	mux     *http.ServeMux
+	opts        Options
+	sched       *core.Scheduler
+	limiter     *rateLimiter // per client (API key or remote host)
+	hostLimiter *rateLimiter // per remote host, hostRateFactor times wider
+	mux         *http.ServeMux
 }
 
 // New builds the handler set over opts.Sched.
@@ -86,7 +97,12 @@ func New(opts Options) *Server {
 		sched: opts.Sched,
 	}
 	if opts.RatePerSec > 0 {
-		s.limiter = newRateLimiter(opts.RatePerSec, opts.RateBurst)
+		burst := opts.RateBurst
+		if burst < 1 {
+			burst = 1
+		}
+		s.limiter = newRateLimiter(opts.RatePerSec, burst)
+		s.hostLimiter = newRateLimiter(opts.RatePerSec*hostRateFactor, burst*hostRateFactor)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
@@ -106,21 +122,24 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // SweepRequest is the submission body for /v1/sweeps and /v1/scenarios.
 // Seeds may be listed explicitly or expanded from seed_count/first_seed
 // (the cellbench convention); faults is a fault.ParseSpec string like
-// "mfc=0.01,xdr=0.05".
+// "mfc=0.01,xdr=0.05". Config is a partial cell.Config overlay: fields
+// it sets override the server's default machine, fields it omits keep
+// their calibrated values, so {} (or omitting it) means the default
+// dual-Cell blade.
 type SweepRequest struct {
-	Scenario  string       `json:"scenario"`
-	SPEs      int          `json:"spes"`
-	Op        string       `json:"op,omitempty"`
-	List      bool         `json:"list,omitempty"`
-	Chunks    []int        `json:"chunks"`
-	Seeds     []int64      `json:"seeds,omitempty"`
-	SeedCount int          `json:"seed_count,omitempty"`
-	FirstSeed int64        `json:"first_seed,omitempty"`
-	Volume    int64        `json:"volume"`
-	MaxCycles sim.Time     `json:"max_cycles,omitempty"`
-	Faults    string       `json:"faults,omitempty"`
-	FaultSeed int64        `json:"fault_seed,omitempty"`
-	Config    *cell.Config `json:"config,omitempty"`
+	Scenario  string          `json:"scenario"`
+	SPEs      int             `json:"spes"`
+	Op        string          `json:"op,omitempty"`
+	List      bool            `json:"list,omitempty"`
+	Chunks    []int           `json:"chunks"`
+	Seeds     []int64         `json:"seeds,omitempty"`
+	SeedCount int             `json:"seed_count,omitempty"`
+	FirstSeed int64           `json:"first_seed,omitempty"`
+	Volume    int64           `json:"volume"`
+	MaxCycles sim.Time        `json:"max_cycles,omitempty"`
+	Faults    string          `json:"faults,omitempty"`
+	FaultSeed int64           `json:"fault_seed,omitempty"`
+	Config    json.RawMessage `json:"config,omitempty"`
 }
 
 // Point is one grid point on the wire. Failed points carry error/code/log
@@ -191,23 +210,34 @@ func writeError(w http.ResponseWriter, status int, code, msg string) {
 	writeJSON(w, status, errorBody{Error: msg, Code: code})
 }
 
+// remoteHost extracts the connection's host for the per-host limiter —
+// the one identity a key-spraying client cannot choose.
+func remoteHost(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		host = r.RemoteAddr
+	}
+	return host
+}
+
 // clientKey identifies the caller for rate limiting: the API key when
 // one is presented, otherwise the remote host.
 func clientKey(r *http.Request) string {
 	if k := r.Header.Get("X-API-Key"); k != "" {
 		return "key:" + k
 	}
-	host, _, err := net.SplitHostPort(r.RemoteAddr)
-	if err != nil {
-		host = r.RemoteAddr
-	}
-	return "addr:" + host
+	return "addr:" + remoteHost(r)
 }
 
-// admit runs the rate limiter for submission endpoints. It reports
-// whether the request may proceed, answering 429 itself when not.
+// admit runs the rate limiters for submission endpoints: the wide
+// per-host bucket first (so arbitrarily many sprayed API keys still
+// drain one budget), then the per-client bucket. It reports whether the
+// request may proceed, answering 429 itself when not.
 func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
-	ok, wait := s.limiter.allow(clientKey(r))
+	ok, wait := s.hostLimiter.allow("addr:" + remoteHost(r))
+	if ok {
+		ok, wait = s.limiter.allow(clientKey(r))
+	}
 	if ok {
 		return true
 	}
@@ -234,20 +264,24 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, req *SweepReques
 // spec turns a request into a validated SweepSpec, enforcing the
 // server's grid, volume and cycle-budget caps.
 func (s *Server) spec(req *SweepRequest) (core.SweepSpec, error) {
-	seeds := req.Seeds
-	if len(seeds) == 0 {
-		n := req.SeedCount
-		if n <= 0 {
-			n = 1
-		}
-		for i := 0; i < n; i++ {
-			seeds = append(seeds, req.FirstSeed+int64(i))
+	// Validate the grid size from counts alone, before materializing
+	// anything: seed_count is attacker-controlled and must never drive
+	// an allocation, or one small request body OOMs the server.
+	nSeeds := len(req.Seeds)
+	if nSeeds == 0 {
+		nSeeds = req.SeedCount
+		if nSeeds <= 0 {
+			nSeeds = 1
 		}
 	}
 	if len(req.Chunks) == 0 {
 		return core.SweepSpec{}, fmt.Errorf("chunks: at least one chunk size required")
 	}
-	if grid := len(req.Chunks) * len(seeds); grid > s.opts.maxPoints() {
+	if nSeeds > s.opts.maxPoints() {
+		return core.SweepSpec{}, fmt.Errorf("grid of %d seeds x %d chunks exceeds the server's limit of %d points",
+			nSeeds, len(req.Chunks), s.opts.maxPoints())
+	}
+	if grid := len(req.Chunks) * nSeeds; grid > s.opts.maxPoints() {
 		return core.SweepSpec{}, fmt.Errorf("grid of %d points exceeds the server's limit of %d",
 			grid, s.opts.maxPoints())
 	}
@@ -255,9 +289,23 @@ func (s *Server) spec(req *SweepRequest) (core.SweepSpec, error) {
 		return core.SweepSpec{}, fmt.Errorf("volume %d exceeds the server's limit of %d",
 			req.Volume, s.opts.maxVolume())
 	}
+	seeds := req.Seeds
+	if len(seeds) == 0 {
+		seeds = make([]int64, nSeeds)
+		for i := range seeds {
+			seeds[i] = req.FirstSeed + int64(i)
+		}
+	}
+	// A request config is a partial overlay: decode it over the defaults
+	// so {"ClockGHz": 3.2} adjusts one knob without the client restating
+	// the whole machine, and {} means the default machine.
 	cfg := cell.DefaultConfig()
-	if req.Config != nil {
-		cfg = req.Config.Clone()
+	if len(req.Config) > 0 {
+		dec := json.NewDecoder(bytes.NewReader(req.Config))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&cfg); err != nil {
+			return core.SweepSpec{}, fmt.Errorf("config: %w", err)
+		}
 	}
 	if req.Faults != "" {
 		fc, err := fault.ParseSpec(req.Faults)
@@ -268,6 +316,9 @@ func (s *Server) spec(req *SweepRequest) (core.SweepSpec, error) {
 	}
 	if req.FaultSeed != 0 {
 		cfg.FaultSeed = req.FaultSeed
+	}
+	if err := cfg.Validate(); err != nil {
+		return core.SweepSpec{}, fmt.Errorf("config: %w", err)
 	}
 	budget := req.MaxCycles
 	if limit := s.opts.MaxCycles; limit > 0 && (budget <= 0 || budget > limit) {

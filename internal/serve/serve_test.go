@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -424,7 +425,13 @@ func TestServerRequestValidation(t *testing.T) {
 		{"unknown scenario", `{"scenario":"nope","spes":4,"chunks":[1024],"volume":65536}`},
 		{"no chunks", `{"scenario":"cycle","spes":4,"volume":65536}`},
 		{"grid too large", `{"scenario":"cycle","spes":4,"chunks":[1024],"seed_count":9,"volume":65536}`},
+		// A huge seed_count must be rejected from the count alone, before
+		// any seed slice is materialized — expanding first would allocate
+		// gigabytes and OOM the server off one small request body.
+		{"seed_count DoS", `{"scenario":"cycle","spes":4,"chunks":[1024],"seed_count":4000000000,"volume":65536}`},
 		{"volume too large", `{"scenario":"cycle","spes":4,"chunks":[1024],"volume":2097152}`},
+		{"invalid config", `{"scenario":"cycle","spes":4,"chunks":[1024],"volume":65536,"config":{"ClockGHz":-1}}`},
+		{"non-permutation layout", `{"scenario":"cycle","spes":4,"chunks":[1024],"volume":65536,"config":{"Layout":[0,0,0,0,0,0,0,0]}}`},
 	}
 	for _, tc := range cases {
 		resp := postJSON(t, ts.URL+"/v1/sweeps", tc.body)
@@ -441,4 +448,83 @@ func TestServerRequestValidation(t *testing.T) {
 		t.Errorf("unknown job: status %d, want 404", resp.StatusCode)
 	}
 	resp.Body.Close()
+}
+
+// TestServerConfigOverlay: a request config is a partial overlay over the
+// server's default machine. An empty object must mean "the default blade"
+// (not a zero Config that panics cell.New), and a one-field overlay must
+// keep every other calibrated value.
+func TestServerConfigOverlay(t *testing.T) {
+	ts, _ := newTestServer(t,
+		core.SchedOptions{Workers: 2},
+		serve.Options{})
+
+	run := func(config string) serve.Point {
+		t.Helper()
+		body := `{"scenario":"cycle","spes":4,"chunks":[4096],"seeds":[0],"volume":131072,"config":` + config + `}`
+		resp := postJSON(t, ts.URL+"/v1/scenarios", body)
+		if resp.StatusCode != http.StatusOK {
+			var eb errBody
+			json.NewDecoder(resp.Body).Decode(&eb)
+			resp.Body.Close()
+			t.Fatalf("config %s: status %d (%+v), want 200", config, resp.StatusCode, eb)
+		}
+		return decodeBody[serve.Point](t, resp)
+	}
+
+	def := run(`{}`)
+	if def.Cycles == 0 || def.GBps == 0 {
+		t.Fatalf("empty config overlay returned empty result: %+v", def)
+	}
+	// Doubling the clock doubles GB/s for the same cycle count: the
+	// overlay changed exactly the one field it named.
+	fast := run(`{"ClockGHz": 4.2}`)
+	if fast.Cycles != def.Cycles {
+		t.Errorf("clock overlay changed simulated cycles: %d vs %d", fast.Cycles, def.Cycles)
+	}
+	if ratio := fast.GBps / def.GBps; ratio < 1.99 || ratio > 2.01 {
+		t.Errorf("GB/s ratio %.3f after doubling the clock, want ~2", ratio)
+	}
+}
+
+// TestServerKeySprayHostLimit: X-API-Key is attacker-chosen, so fresh
+// keys minting fresh bursts must still drain the per-host budget — one
+// address gets hostRateFactor clients' worth, no more.
+func TestServerKeySprayHostLimit(t *testing.T) {
+	ts, _ := newTestServer(t,
+		core.SchedOptions{Workers: 2, CachePoints: 16},
+		serve.Options{RatePerSec: 0.001, RateBurst: 1})
+
+	post := func(key string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest("POST", ts.URL+"/v1/scenarios",
+			strings.NewReader(`{"scenario":"cycle","spes":4,"chunks":[1024],"seeds":[0],"volume":65536}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("X-API-Key", key)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// The host budget is burst*16 = 16: the first 16 sprayed keys ride
+	// their per-key bursts, the 17th is cut off at the host tier even
+	// though its own key is fresh.
+	for i := 0; i < 16; i++ {
+		resp := post(fmt.Sprintf("spray-%d", i))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("sprayed key %d: status %d, want 200 (within host budget)", i, resp.StatusCode)
+		}
+		decodeBody[serve.Point](t, resp)
+	}
+	resp := post("spray-16")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("17th sprayed key: status %d, want 429 from the host-level limit", resp.StatusCode)
+	}
+	if body := decodeBody[errBody](t, resp); body.Code != "rate_limited" {
+		t.Fatalf("error code %q, want rate_limited", body.Code)
+	}
 }
