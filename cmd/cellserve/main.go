@@ -1,15 +1,18 @@
 // Command cellserve runs the Cell BE sweep simulator as a service: an
 // HTTP/JSON API over the core job scheduler, with a shared worker pool,
-// content-addressed result memoization, bounded job admission and
-// per-client rate limits. See the README's Serving section for the
-// endpoints and wire format.
+// content-addressed result memoization, bounded job admission,
+// per-client rate limits and (with -journal) a crash-safe write-ahead
+// journal that resumes interrupted sweeps on restart. See the README's
+// Serving and Operations sections for the endpoints and wire format.
 //
 // Usage:
 //
-//	cellserve -addr :8080 -workers 8 -cache 4096 -rate 5
+//	cellserve -addr :8080 -workers 8 -cache 4096 -rate 5 -journal /var/lib/cellserve
 //
-// A healthy instance answers GET /healthz; sweeps stream NDJSON from
-// POST /v1/sweeps.
+// Liveness is GET /healthz/live, readiness GET /healthz/ready; sweeps
+// stream NDJSON from POST /v1/sweeps. The first SIGINT/SIGTERM drains
+// gracefully (open streams finish, the journal is flushed and closed);
+// a second signal forces immediate exit with status 3.
 package main
 
 import (
@@ -25,9 +28,15 @@ import (
 	"time"
 
 	"cellbe/internal/core"
+	"cellbe/internal/journal"
 	"cellbe/internal/serve"
 	"cellbe/internal/sim"
 )
+
+// forcedExitCode is the exit status of a second-signal forced shutdown,
+// distinct from 0 (clean drain) and 1 (startup/serve failure) so
+// supervisors can tell an operator-forced kill from a crash.
+const forcedExitCode = 3
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -39,13 +48,57 @@ func main() {
 	maxPoints := flag.Int("max-points", 4096, "max grid points per request")
 	maxCycles := flag.Int64("max-cycles", 1_000_000_000, "per-point watchdog cycle budget cap (0 = no cap)")
 	maxVolume := flag.Int64("max-volume", 64<<20, "max per-SPE volume in bytes per request")
+	journalDir := flag.String("journal", "", "write-ahead journal directory; enables resume-on-restart (empty = no journal)")
+	journalSync := flag.Int("journal-sync", 8, "fsync the journal every N point records (1 = every point)")
+	retries := flag.Int("retries", 3, "attempts per grid point before a transiently failing point is quarantined (1 = no retries)")
 	flag.Parse()
+
+	var (
+		jr *journal.Journal
+		st *journal.State
+	)
+	if *journalDir != "" {
+		var err error
+		jr, st, err = journal.Open(*journalDir, journal.Options{SyncEvery: *journalSync})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cellserve: opening journal: %v\n", err)
+			os.Exit(1)
+		}
+		if *cache <= 0 {
+			// Resume replays journaled points through the memo cache; with
+			// no cache every completed point would re-simulate after a
+			// restart, silently defeating the journal.
+			*cache = 4096
+			log.Printf("cellserve: -journal needs a result cache to resume into; forcing -cache %d", *cache)
+		}
+	}
 
 	sched := core.NewScheduler(core.SchedOptions{
 		Workers:     *workers,
 		MaxJobs:     *queue,
 		CachePoints: *cache,
+		Journal:     jr,
+		Retry:       core.RetryPolicy{MaxAttempts: *retries},
 	})
+	if jr != nil {
+		rs := sched.Resume(context.Background(), st)
+		log.Printf("cellserve: journal replay: %d points warmed, %d skipped, %d jobs resumed, %d unresumable",
+			rs.WarmedPoints, rs.SkippedPoints, len(rs.Jobs), rs.SkippedJobs)
+		for _, job := range rs.Jobs {
+			// Resumed jobs have no client connection; drain them in the
+			// background so their missing points re-run and the journal
+			// gets its done record. Clients poll GET /v1/jobs/{id}.
+			job := job
+			go func() {
+				for range job.Results() {
+				}
+				st := job.Status()
+				log.Printf("cellserve: resumed job %s finished: %d completed (%d cached, %d failed)",
+					job.ID, st.Completed, st.Cached, st.Failed)
+			}()
+		}
+	}
+
 	handler := serve.New(serve.Options{
 		Sched:      sched,
 		RatePerSec: *rate,
@@ -53,6 +106,7 @@ func main() {
 		MaxPoints:  *maxPoints,
 		MaxCycles:  sim.Time(*maxCycles),
 		MaxVolume:  *maxVolume,
+		Journal:    jr,
 	})
 	srv := &http.Server{
 		Addr:              *addr,
@@ -60,8 +114,12 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	// Two-stage signal handling: the first SIGINT/SIGTERM starts the
+	// graceful drain; a second one means the operator wants out NOW and
+	// forces an immediate exit with a distinct status. The buffered
+	// channel keeps both deliveries.
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 
 	errc := make(chan error, 1)
 	go func() {
@@ -73,16 +131,30 @@ func main() {
 	case err := <-errc:
 		fmt.Fprintf(os.Stderr, "cellserve: %v\n", err)
 		os.Exit(1)
-	case <-ctx.Done():
+	case sig := <-sigc:
+		log.Printf("cellserve: %v: shutting down gracefully (send again to force exit)", sig)
+		go func() {
+			sig := <-sigc
+			log.Printf("cellserve: %v: forcing exit", sig)
+			os.Exit(forcedExitCode)
+		}()
 	}
 
-	// Graceful shutdown: stop accepting, let streams finish, then drain
-	// the scheduler so in-flight simulations complete before exit.
-	log.Printf("cellserve: shutting down")
+	// Graceful shutdown: stop accepting, let streams finish, drain the
+	// scheduler so in-flight simulations complete, then flush and close
+	// the journal — in that order, so every drained point's record is on
+	// disk before exit.
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("cellserve: shutdown: %v", err)
 	}
 	sched.Close()
+	if jr != nil {
+		if err := jr.Close(); err != nil {
+			log.Printf("cellserve: closing journal: %v", err)
+			os.Exit(1)
+		}
+	}
+	log.Printf("cellserve: drained cleanly")
 }

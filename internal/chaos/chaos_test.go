@@ -1,0 +1,134 @@
+package chaos
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestDeriveDeterministic: a schedule is a pure function of its seed —
+// the precondition for "re-run the failing seed" debugging.
+func TestDeriveDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		a, b := Derive(seed), Derive(seed)
+		if fmt.Sprintf("%+v", a) != fmt.Sprintf("%+v", b) {
+			t.Fatalf("seed %d derived two different schedules:\n%+v\n%+v", seed, a, b)
+		}
+	}
+	if fmt.Sprintf("%+v", Derive(1)) == fmt.Sprintf("%+v", Derive(2)) {
+		t.Fatal("distinct seeds derived identical schedules — derivation is degenerate")
+	}
+}
+
+// TestDeriveCoverage: across a modest seed range the generator must
+// exercise every adversarial dimension — crashes at varied depths, all
+// sync intervals, poisoned points, journal write errors and real-fault
+// schedules. A generator that silently stopped producing one of these
+// would hollow out the whole suite.
+func TestDeriveCoverage(t *testing.T) {
+	syncs := map[int]bool{}
+	crashes := map[int]bool{}
+	var poison, jerr, faults, slow int
+	for seed := int64(0); seed < 32; seed++ {
+		sch := Derive(seed)
+		if sch.SyncEvery < 1 || sch.SyncEvery > 3 {
+			t.Fatalf("seed %d: SyncEvery %d out of range", seed, sch.SyncEvery)
+		}
+		if sch.CrashAfter < 0 || sch.CrashAfter >= len(gridPoints()) {
+			t.Fatalf("seed %d: CrashAfter %d out of range", seed, sch.CrashAfter)
+		}
+		syncs[sch.SyncEvery] = true
+		crashes[sch.CrashAfter] = true
+		for _, k := range sch.FailCounts {
+			if k >= MaxAttempts {
+				poison++
+			}
+		}
+		if sch.JournalErrEvery > 0 {
+			jerr++
+		}
+		if sch.Faults {
+			faults++
+		}
+		slow += len(sch.SlowPoints)
+	}
+	if len(syncs) != 3 {
+		t.Errorf("sync intervals seen: %v, want all of 1..3", syncs)
+	}
+	if len(crashes) < 4 {
+		t.Errorf("only %d distinct crash depths over 32 seeds", len(crashes))
+	}
+	if poison == 0 || jerr == 0 || faults == 0 || slow == 0 {
+		t.Errorf("dimension never generated: poison=%d journal-errors=%d faults=%d slow=%d",
+			poison, jerr, faults, slow)
+	}
+}
+
+// TestChaosSchedules is the harness proper: every seeded schedule must
+// crash, resume and uphold the full crash-safety contract. Each seed is
+// a subtest so a failure names its reproduction directly.
+func TestChaosSchedules(t *testing.T) {
+	seeds := int64(12)
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := int64(0); seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			sch := Derive(seed)
+			rep, err := Run(t.TempDir(), sch)
+			if err != nil {
+				t.Fatalf("harness error: %v\nschedule: %+v", err, sch)
+			}
+			for _, v := range rep.Violations {
+				t.Errorf("invariant violated: %s", v)
+			}
+			if t.Failed() {
+				t.Logf("schedule: %+v", sch)
+				t.Logf("report: total=%d journaled=%d warmed=%d resimmed=%d",
+					rep.Total, rep.Journaled, rep.Warmed, rep.Resimmed)
+			}
+		})
+	}
+}
+
+// TestChaosHandPicked pins the corner schedules the seeded sweep may or
+// may not hit: crash before any point completes, crash on the last
+// point, maximum sync batching with write-error injection, and a
+// poison-everything run.
+func TestChaosHandPicked(t *testing.T) {
+	pts := gridPoints()
+	all := func(k int) map[Point]int {
+		m := map[Point]int{}
+		for _, p := range pts {
+			m[p] = k
+		}
+		return m
+	}
+	cases := []struct {
+		name string
+		sch  Schedule
+	}{
+		{"crash-at-zero", Schedule{Seed: -1, SyncEvery: 1, CrashAfter: 0,
+			FailCounts: map[Point]int{}, SlowPoints: map[Point]bool{}}},
+		{"crash-at-last", Schedule{Seed: -2, SyncEvery: 2, CrashAfter: len(pts) - 1,
+			FailCounts: map[Point]int{}, SlowPoints: map[Point]bool{}}},
+		{"batched-with-write-errors", Schedule{Seed: -3, SyncEvery: 3, CrashAfter: 4,
+			JournalErrEvery: 2, FailCounts: map[Point]int{}, SlowPoints: map[Point]bool{}}},
+		{"poison-everything", Schedule{Seed: -4, SyncEvery: 1, CrashAfter: 3,
+			FailCounts: all(MaxAttempts), SlowPoints: map[Point]bool{}}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			rep, err := Run(t.TempDir(), c.sch)
+			if err != nil {
+				t.Fatalf("harness error: %v", err)
+			}
+			for _, v := range rep.Violations {
+				t.Errorf("invariant violated: %s", v)
+			}
+		})
+	}
+}

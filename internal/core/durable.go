@@ -1,0 +1,119 @@
+package core
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+
+	"cellbe/internal/journal"
+	"cellbe/internal/sim"
+)
+
+// resultRecord converts a final point result to its journal form. Errors
+// flatten to a string + classification code: a journaled failure is
+// never replayed into the cache (resume re-simulates it, reproducing
+// the same deterministic failure with its live typed error), so nothing
+// is lost by the flattening.
+func resultRecord(res SweepResult) journal.PointRecord {
+	rec := journal.PointRecord{
+		Chunk:      res.Chunk,
+		Seed:       res.Seed,
+		Cycles:     int64(res.Cycles),
+		GBps:       res.GBps,
+		Transfers:  res.Transfers,
+		WaitCycles: int64(res.WaitCycles),
+		Commands:   res.Commands,
+		FaultSeed:  res.FaultSeed,
+		Attempts:   res.Attempts,
+		Log:        res.Log,
+	}
+	if res.Err != nil {
+		rec.Error = res.Err.Error()
+		rec.Code = FailureCode(res.Err)
+	}
+	return rec
+}
+
+// recordResult is the inverse of resultRecord for successful records.
+func recordResult(rec journal.PointRecord) SweepResult {
+	return SweepResult{
+		Chunk:      rec.Chunk,
+		Seed:       rec.Seed,
+		Cycles:     sim.Time(rec.Cycles),
+		GBps:       rec.GBps,
+		Transfers:  rec.Transfers,
+		WaitCycles: sim.Time(rec.WaitCycles),
+		Commands:   rec.Commands,
+		FaultSeed:  rec.FaultSeed,
+		Attempts:   rec.Attempts,
+		Log:        rec.Log,
+	}
+}
+
+// WarmCache replays one journaled point into the memo cache, keyed by
+// its hex content address. Only successful records warm the cache (a
+// failure must re-simulate to regain its typed error); it reports
+// whether the record was inserted. A scheduler without a cache warms
+// nothing — resume still works, it just re-simulates.
+func (s *Scheduler) WarmCache(keyHex string, rec journal.PointRecord) bool {
+	if s.cache == nil || !rec.Ok() {
+		return false
+	}
+	raw, err := hex.DecodeString(keyHex)
+	if err != nil || len(raw) != sha256.Size {
+		return false
+	}
+	var key [sha256.Size]byte
+	copy(key[:], raw)
+	s.cache.put(key, PointResult{SweepResult: recordResult(rec)})
+	return true
+}
+
+// ResumeStats reports what Resume restored from a journal replay.
+type ResumeStats struct {
+	// WarmedPoints is how many journaled successes now sit in the memo
+	// cache — points a resumed sweep gets for free.
+	WarmedPoints int
+	// SkippedPoints counts journaled records not warmed: failures
+	// (including quarantined points) and undecodable keys. They
+	// re-simulate on demand.
+	SkippedPoints int
+	// Jobs are the resubmitted incomplete jobs, running under their
+	// original journal ids with Status().Resumed set. The caller must
+	// drain each job's Results channel.
+	Jobs []*Job
+	// SkippedJobs counts incomplete jobs that could not be resubmitted
+	// (spec no longer decodes or validates, or admission rejected it).
+	SkippedJobs int
+}
+
+// Resume replays a journal state into the scheduler: every journaled
+// success warms the content-addressed cache, then each job without a
+// "done" record is resubmitted under its original journal id. The
+// resumed jobs' completed points hit the warm cache — the
+// CacheStats.Simulations counter proves only missing points re-simulate
+// — and only the genuinely lost work runs again.
+func (s *Scheduler) Resume(ctx context.Context, st *journal.State) ResumeStats {
+	var rs ResumeStats
+	for key, rec := range st.Points {
+		if s.WarmCache(key, rec) {
+			rs.WarmedPoints++
+		} else {
+			rs.SkippedPoints++
+		}
+	}
+	for _, jr := range st.Incomplete() {
+		spec, err := UnmarshalSpec(jr.Spec)
+		if err != nil {
+			rs.SkippedJobs++
+			continue
+		}
+		job, err := s.SubmitWith(ctx, spec, SubmitOptions{Resumed: true, JournalID: jr.ID})
+		if err != nil {
+			rs.SkippedJobs++
+			continue
+		}
+		rs.Jobs = append(rs.Jobs, job)
+	}
+	return rs
+}

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"context"
 	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -12,6 +13,7 @@ import (
 	"sync/atomic"
 
 	"cellbe/internal/cell"
+	"cellbe/internal/journal"
 	"cellbe/internal/sim"
 )
 
@@ -43,6 +45,23 @@ type SchedOptions struct {
 	// gate or observe worker progress deterministically; production
 	// callers leave it nil.
 	BeforePoint func(chunk int, seed int64)
+	// Journal, when set, makes jobs durable: submissions and per-point
+	// completions are appended to the write-ahead journal, and a restart
+	// resumes incomplete jobs via Resume. Instrumented jobs are never
+	// journaled (their hooks are process state). The caller owns the
+	// journal's lifetime and closes it after Close.
+	Journal *journal.Journal
+	// Retry is the per-point self-healing policy: transient failures
+	// (fault-injected deadlocks, injected TransientErrors) retry with
+	// exponential backoff and deterministic jitter; a point failing
+	// MaxAttempts consecutive times is quarantined as a PoisonError. The
+	// zero value disables retries.
+	Retry RetryPolicy
+	// FailPoint, when set, runs before every simulation attempt
+	// (attempt is 0-based); a non-nil return replaces the attempt's
+	// simulation with that failure. It is the chaos harness's injection
+	// point for adversarial schedules; production callers leave it nil.
+	FailPoint func(chunk int, seed int64, attempt int) error
 }
 
 func (o SchedOptions) maxJobs() int {
@@ -81,7 +100,8 @@ type Scheduler struct {
 	workWG sync.WaitGroup
 	feedWG sync.WaitGroup
 
-	sims atomic.Int64 // points actually simulated (cache hits excluded)
+	sims    atomic.Int64 // points actually simulated (cache hits excluded)
+	pending atomic.Int64 // grid points admitted but not yet delivered or skipped
 
 	mu      sync.Mutex
 	closed  bool
@@ -141,12 +161,27 @@ func (s *Scheduler) Close() {
 	s.workWG.Wait()
 }
 
+// SubmitOptions carries submission metadata beyond the spec itself.
+type SubmitOptions struct {
+	// Resumed marks the job as a journal resume (reported in JobStatus).
+	Resumed bool
+	// JournalID reuses an existing journal job id instead of appending a
+	// fresh job record — the resume path, where the record already
+	// exists from before the restart.
+	JournalID string
+}
+
 // Submit validates spec, snapshots its base config and enqueues the sweep
 // as a job whose grid points the worker pool executes. It returns
 // ErrQueueFull when MaxJobs jobs are already unfinished. Cancelling ctx
 // cancels the job: points not yet started are skipped (a running
 // simulation finishes its point first — simulations are not preemptible).
 func (s *Scheduler) Submit(ctx context.Context, spec SweepSpec) (*Job, error) {
+	return s.SubmitWith(ctx, spec, SubmitOptions{})
+}
+
+// SubmitWith is Submit with explicit SubmitOptions (the resume path).
+func (s *Scheduler) SubmitWith(ctx context.Context, spec SweepSpec, opts SubmitOptions) (*Job, error) {
 	if err := spec.validate(); err != nil {
 		return nil, err
 	}
@@ -182,6 +217,7 @@ func (s *Scheduler) Submit(ctx context.Context, spec SweepSpec) (*Job, error) {
 		sched:   s,
 		spec:    spec,
 		grid:    grid,
+		resumed: opts.Resumed,
 		ctx:     jctx,
 		cancel:  cancel,
 		results: make(chan PointResult, len(grid)),
@@ -192,7 +228,23 @@ func (s *Scheduler) Submit(ctx context.Context, spec SweepSpec) (*Job, error) {
 	// never observe a zero count, close(s.tasks), and then race a feed
 	// goroutine spawned by a Submit it already admitted.
 	s.feedWG.Add(1)
+	s.pending.Add(int64(len(grid)))
 	s.mu.Unlock()
+
+	// Journal the submission before any point can run, so a crash right
+	// after admission still resumes the job. A journal failure degrades
+	// to an unjournaled job (sticky in journal Health / readiness)
+	// rather than rejecting the request: durability is best-effort,
+	// availability is not.
+	if jr := s.opts.Journal; jr != nil && spec.Instrument == nil {
+		if opts.JournalID != "" {
+			j.jid = opts.JournalID
+		} else if raw, err := MarshalSpec(spec); err == nil {
+			if jid, err := jr.AppendJob(raw); err == nil {
+				j.jid = jid
+			}
+		}
+	}
 
 	go s.feed(j)
 	return j, nil
@@ -212,6 +264,24 @@ func (s *Scheduler) Active() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.active
+}
+
+// Closed reports whether Close has begun — the readiness probe's
+// "shutting down" signal.
+func (s *Scheduler) Closed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// Depth reports the scheduler's queue depth for readiness probes:
+// unfinished jobs and grid points admitted but not yet delivered or
+// skipped.
+func (s *Scheduler) Depth() (jobs int, points int64) {
+	s.mu.Lock()
+	jobs = s.active
+	s.mu.Unlock()
+	return jobs, s.pending.Load()
 }
 
 // CacheStats reports the result cache counters plus the total number of
@@ -267,23 +337,83 @@ func (s *Scheduler) runTask(t pointTask) {
 	}
 	// Instrumented jobs bypass the cache both ways: a memoized hit would
 	// skip the simulation the hook observes, and a hook-retained System
-	// must not be recorded as a reusable result.
+	// must not be recorded as a reusable result. They bypass the journal
+	// for the same reason: a journaled result must be replayable.
 	cacheable := s.cache != nil && j.spec.Instrument == nil
+	journaled := s.opts.Journal != nil && j.spec.Instrument == nil
 	var key [sha256.Size]byte
-	if cacheable {
+	if cacheable || journaled {
 		key = pointKey(&j.spec, pt.chunk, pt.seed)
+	}
+	if cacheable {
 		if r, ok := s.cache.get(key); ok {
+			// Cache hits are not re-journaled: the record that warmed
+			// the cache (or produced it in a prior job) is already on
+			// disk, or was compacted away — in which case a resume
+			// simply re-simulates the point.
 			r.Cached = true
 			j.deliver(r)
 			return
 		}
 	}
-	res := PointResult{SweepResult: runPoint(&j.spec, pt.chunk, pt.seed)}
-	s.sims.Add(1)
+	res := s.simulate(j, pt)
 	if cacheable {
 		s.cache.put(key, res)
 	}
+	if journaled {
+		// An append failure is absorbed: the result is already bound for
+		// the client, and the journal's sticky Health error flips
+		// readiness until appends succeed again.
+		s.opts.Journal.AppendPoint(j.jid, hex.EncodeToString(key[:]), resultRecord(res.SweepResult))
+	}
 	j.deliver(res)
+}
+
+// simulate runs one grid point under the retry policy: transient
+// failures back off and retry (each retry deterministically re-rolls
+// the fault stream), and a point that stays transiently broken through
+// MaxAttempts is quarantined as a PoisonError instead of burning the
+// worker further.
+func (s *Scheduler) simulate(j *Job, pt gridPoint) PointResult {
+	pol := s.opts.Retry
+	maxA := pol.maxAttempts()
+	faulty := j.spec.faultsEnabled()
+	var res PointResult
+	for attempt := 0; ; attempt++ {
+		res = PointResult{SweepResult: s.attemptPoint(j, pt, attempt)}
+		res.Attempts = attempt + 1
+		if res.Err == nil || !transientFailure(res.Err, faulty) {
+			return res
+		}
+		if attempt+1 >= maxA {
+			break
+		}
+		if j.ctx.Err() != nil {
+			// Cancelled mid-retry: report the transient failure as-is
+			// instead of sleeping out a backoff nobody waits for.
+			return res
+		}
+		pol.sleep(pol.backoff(pt.chunk, pt.seed, attempt+1))
+	}
+	if pol.enabled() {
+		res.Err = &PoisonError{Chunk: pt.chunk, Seed: pt.seed, Attempts: res.Attempts, Last: res.Err}
+		res.Log = append(res.Log, res.Err.Error())
+	}
+	return res
+}
+
+// attemptPoint executes one attempt of a grid point. The chaos FailPoint
+// hook may substitute an injected failure for the simulation; a real
+// simulation counts toward the Simulations proof counter.
+func (s *Scheduler) attemptPoint(j *Job, pt gridPoint, attempt int) SweepResult {
+	if hook := s.opts.FailPoint; hook != nil {
+		if err := hook(pt.chunk, pt.seed, attempt); err != nil {
+			return SweepResult{Chunk: pt.chunk, Seed: pt.seed, Err: err, Log: []string{err.Error()}}
+		}
+	}
+	res := runPoint(&j.spec, pt.chunk, pt.seed, attempt)
+	s.sims.Add(1)
+	return res
 }
 
 // release retires a finished job: frees its admission slot and prunes the
@@ -323,15 +453,29 @@ type JobStatus struct {
 	Failed    int      `json:"failed"`
 	Cached    int      `json:"cached"`
 	Skipped   int      `json:"skipped,omitempty"`
+	// Retried counts extra simulation attempts the retry policy spent on
+	// transient failures (completed points' attempts beyond the first).
+	Retried int `json:"retried,omitempty"`
+	// Poisoned counts points quarantined by the circuit breaker
+	// (PoisonError) — failures that exhausted every allowed retry.
+	Poisoned int `json:"poisoned,omitempty"`
+	// Resumed marks a job resubmitted from the write-ahead journal after
+	// a restart.
+	Resumed bool `json:"resumed,omitempty"`
+	// JournalID is the job's durable identity in the write-ahead journal
+	// (stable across restarts, unlike ID); empty when journaling is off.
+	JournalID string `json:"journal_id,omitempty"`
 }
 
 // Job is one submitted sweep: its grid points flow through the scheduler's
 // worker pool and stream out of Results in completion order.
 type Job struct {
-	ID    string
-	sched *Scheduler
-	spec  SweepSpec
-	grid  []gridPoint
+	ID      string
+	sched   *Scheduler
+	spec    SweepSpec
+	grid    []gridPoint
+	jid     string // write-ahead journal id; empty when unjournaled
+	resumed bool
 
 	ctx     context.Context
 	cancel  context.CancelFunc
@@ -343,6 +487,8 @@ type Job struct {
 	failed    int
 	cached    int
 	skipped   int
+	retried   int
+	poisoned  int
 	finished  bool
 }
 
@@ -371,6 +517,10 @@ func (j *Job) Status() JobStatus {
 		Failed:    j.failed,
 		Cached:    j.cached,
 		Skipped:   j.skipped,
+		Retried:   j.retried,
+		Poisoned:  j.poisoned,
+		Resumed:   j.resumed,
+		JournalID: j.jid,
 	}
 	switch {
 	case j.ctx.Err() != nil && (j.skipped > 0 || !j.finished):
@@ -396,6 +546,7 @@ func (j *Job) markStarted() {
 // a worker.
 func (j *Job) deliver(r PointResult) {
 	j.results <- r
+	j.sched.pending.Add(-1)
 	j.mu.Lock()
 	j.delivered++
 	if r.Err != nil {
@@ -403,6 +554,13 @@ func (j *Job) deliver(r PointResult) {
 	}
 	if r.Cached {
 		j.cached++
+	}
+	if r.Attempts > 1 {
+		j.retried += r.Attempts - 1
+	}
+	var pe *PoisonError
+	if errors.As(r.Err, &pe) {
+		j.poisoned++
 	}
 	fin := !j.finished && j.delivered+j.skipped == len(j.grid)
 	if fin {
@@ -416,6 +574,7 @@ func (j *Job) deliver(r PointResult) {
 
 // skip accounts n grid points that will never run (cancellation).
 func (j *Job) skip(n int) {
+	j.sched.pending.Add(-int64(n))
 	j.mu.Lock()
 	j.skipped += n
 	fin := !j.finished && j.delivered+j.skipped == len(j.grid)
@@ -431,6 +590,13 @@ func (j *Job) skip(n int) {
 func (j *Job) finish() {
 	close(j.results)
 	j.cancel() // release the context's resources
+	// A finished job — every point delivered or deliberately skipped —
+	// will never need resuming: seal it in the journal so the next boot
+	// does not resurrect it. (A crash is precisely the absence of this
+	// record.) The append fsyncs before returning.
+	if jr := j.sched.opts.Journal; jr != nil && j.jid != "" {
+		jr.AppendDone(j.jid)
+	}
 	j.sched.release(j.ID)
 }
 

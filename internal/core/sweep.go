@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"runtime"
 	"sort"
@@ -60,7 +61,27 @@ type SweepSpec struct {
 	// not leak the local-store buffers of every other point in the grid.
 	// Jobs with an Instrument hook bypass the result cache: a memoized
 	// point would skip the simulation the hook exists to observe.
-	Instrument func(chunk int, seed int64, sys *cell.System) bool
+	// Instrumented jobs are also never journaled — a hook is process
+	// state that cannot be re-attached from a file on resume.
+	Instrument func(chunk int, seed int64, sys *cell.System) bool `json:"-"`
+}
+
+// MarshalSpec canonicalizes a spec for the write-ahead journal. The
+// Instrument hook is excluded (and journaling is skipped for
+// instrumented jobs); every other field — the snapshotted Base config
+// included — round-trips, so a restart resubmits exactly the sweep the
+// crash interrupted.
+func MarshalSpec(spec SweepSpec) ([]byte, error) {
+	return json.Marshal(spec)
+}
+
+// UnmarshalSpec is the inverse of MarshalSpec, for resume-on-restart.
+func UnmarshalSpec(b []byte) (SweepSpec, error) {
+	var spec SweepSpec
+	if err := json.Unmarshal(b, &spec); err != nil {
+		return SweepSpec{}, fmt.Errorf("core: decoding journaled spec: %w", err)
+	}
+	return spec, nil
 }
 
 // SweepResult is the outcome of one (chunk, seed) grid point.
@@ -74,8 +95,13 @@ type SweepResult struct {
 	Commands   int64
 	// FaultSeed is the injector seed this point actually ran with: the
 	// explicit Base.FaultSeed, or the seed DeriveFaultSeed derived from
-	// the layout seed. Zero when fault injection is off.
+	// the layout seed (re-rolled deterministically on retries). Zero when
+	// fault injection is off.
 	FaultSeed int64
+	// Attempts is how many times the point simulated before this result
+	// (1 = first try; >1 means the retry policy re-ran a transient
+	// failure). Zero only on skipped/unset results.
+	Attempts int
 	// Err records why this grid point failed (deadlock diagnostic,
 	// recovered panic, ...); the rest of the sweep still runs. Numeric
 	// fields are zero when Err is set.
@@ -126,6 +152,13 @@ func (s SweepSpec) validate() error {
 	return nil
 }
 
+// faultsEnabled reports whether the sweep's (possibly nil) base config
+// turns on fault injection — the condition under which a watchdog
+// deadlock is considered transient and worth retrying.
+func (s *SweepSpec) faultsEnabled() bool {
+	return s.Base != nil && s.Base.Faults.Enabled()
+}
+
 func (s SweepSpec) scenario(chunk int) cell.Scenario {
 	op := s.Op
 	if op == "" {
@@ -153,11 +186,13 @@ func pointConfig(spec *SweepSpec, seed int64) cell.Config {
 	return cfg
 }
 
-// runPoint simulates one grid point. Any failure — an install error, a
+// runPoint simulates one grid point; attempt is 0 for the first try and
+// counts up on retries, where it deterministically re-rolls the fault
+// stream (see retryFaultSeed). Any failure — an install error, a
 // watchdog deadlock, or a panic anywhere inside the simulation — is
 // contained to this point's Err so one bad point cannot kill the sweep
 // (or, worse, a worker goroutine and with it the whole process).
-func runPoint(spec *SweepSpec, chunk int, seed int64) (res SweepResult) {
+func runPoint(spec *SweepSpec, chunk int, seed int64, attempt int) (res SweepResult) {
 	res = SweepResult{Chunk: chunk, Seed: seed}
 	defer func() {
 		if r := recover(); r != nil {
@@ -171,6 +206,7 @@ func runPoint(spec *SweepSpec, chunk int, seed int64) (res SweepResult) {
 	}()
 	cfg := pointConfig(spec, seed)
 	if cfg.Faults.Enabled() {
+		cfg.FaultSeed = retryFaultSeed(cfg.FaultSeed, attempt)
 		res.FaultSeed = cfg.FaultSeed
 	}
 	sys := cell.New(cfg)

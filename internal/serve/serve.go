@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"net/http"
 	"sort"
@@ -23,6 +24,7 @@ import (
 	"cellbe/internal/cell"
 	"cellbe/internal/core"
 	"cellbe/internal/fault"
+	"cellbe/internal/journal"
 	"cellbe/internal/sim"
 )
 
@@ -53,6 +55,11 @@ type Options struct {
 	MaxVolume int64
 	// MaxBody caps the request body; <= 0 defaults to 1 MiB.
 	MaxBody int64
+	// Journal, when set, feeds the readiness probe: a journal whose
+	// appends are failing flips /healthz/ready to 503 (the instance keeps
+	// serving — liveness stays green — but load balancers stop routing
+	// new sweeps to a node that can no longer make them durable).
+	Journal *journal.Journal
 }
 
 func (o Options) maxPoints() int {
@@ -111,6 +118,8 @@ func New(opts Options) *Server {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /v1/cache", s.handleCache)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /healthz/live", s.handleLive)
+	mux.HandleFunc("GET /healthz/ready", s.handleReady)
 	s.mux = mux
 	return s
 }
@@ -153,6 +162,7 @@ type Point struct {
 	WaitCycles sim.Time `json:"wait_cycles,omitempty"`
 	Commands   int64    `json:"commands,omitempty"`
 	FaultSeed  int64    `json:"fault_seed,omitempty"`
+	Attempts   int      `json:"attempts,omitempty"`
 	Cached     bool     `json:"cached,omitempty"`
 	Error      string   `json:"error,omitempty"`
 	Code       string   `json:"code,omitempty"`
@@ -171,26 +181,16 @@ func toPoint(pr core.PointResult) Point {
 		FaultSeed:  pr.FaultSeed,
 		Cached:     pr.Cached,
 	}
+	if pr.Attempts > 1 {
+		// Surface retries only: attempts=1 on every point would be noise.
+		p.Attempts = pr.Attempts
+	}
 	if pr.Err != nil {
 		p.Error = pr.Err.Error()
-		p.Code = errCode(pr.Err)
+		p.Code = core.FailureCode(pr.Err)
 		p.Log = pr.Log
 	}
 	return p
-}
-
-// errCode classifies a grid point failure for clients that branch on
-// failure mode rather than parsing error strings.
-func errCode(err error) string {
-	var dl *sim.DeadlockError
-	if errors.As(err, &dl) {
-		return "deadlock"
-	}
-	var pp *sim.ProcessPanic
-	if errors.As(err, &pp) {
-		return "panic"
-	}
-	return "failed"
 }
 
 // errorBody is the uniform JSON error envelope.
@@ -360,7 +360,11 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) *core.Job {
 	case err == nil:
 		return job
 	case errors.Is(err, core.ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
+		// Jitter the retry hint across [1, 4] seconds: every client
+		// hitting a full queue gets a different comeback time, so the
+		// herd that filled the queue does not return as one thundering
+		// wave and fill it again.
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", 1+rand.IntN(4)))
 		writeError(w, http.StatusTooManyRequests, "queue_full",
 			"job queue is full; retry shortly")
 	case errors.Is(err, core.ErrClosed):
@@ -488,7 +492,7 @@ func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
 	if res.Err != nil {
 		writeJSON(w, http.StatusUnprocessableEntity, errorBody{
 			Error: res.Err.Error(),
-			Code:  errCode(res.Err),
+			Code:  core.FailureCode(res.Err),
 			Log:   res.Log,
 		})
 		return
@@ -519,9 +523,62 @@ func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.sched.CacheStats())
 }
 
+// handleHealthz is the legacy combined probe, kept for existing
+// monitors; new deployments point liveness at /healthz/live and
+// readiness at /healthz/ready.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"ok":          true,
 		"active_jobs": s.sched.Active(),
 	})
+}
+
+// handleLive is the liveness probe: the process is up and the handler
+// stack answers. It never consults the scheduler or journal — a node
+// that is degraded but alive must not be restarted by its orchestrator.
+func (s *Server) handleLive(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+}
+
+// readyBody is the readiness probe's response: whether this node should
+// receive new work, with the queue depth and journal health that
+// explain the verdict.
+type readyBody struct {
+	Ready bool `json:"ready"`
+	// Reason says why Ready is false; empty when ready.
+	Reason string `json:"reason,omitempty"`
+	// ActiveJobs and PendingPoints are the scheduler's queue depth: jobs
+	// admitted and grid points not yet delivered.
+	ActiveJobs    int   `json:"active_jobs"`
+	PendingPoints int64 `json:"pending_points"`
+	// Journal reports append/sync counters, the unsynced-record lag and
+	// the last append error; absent when the server runs without a
+	// journal.
+	Journal *journal.Health `json:"journal,omitempty"`
+}
+
+// handleReady is the readiness probe: 200 while the node can accept and
+// durably record new sweeps, 503 once the scheduler is shutting down or
+// the journal's appends are failing (sticky until an append succeeds).
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	var body readyBody
+	body.Ready = true
+	body.ActiveJobs, body.PendingPoints = s.sched.Depth()
+	if s.sched.Closed() {
+		body.Ready = false
+		body.Reason = "scheduler is shutting down"
+	}
+	if s.opts.Journal != nil {
+		h := s.opts.Journal.Health()
+		body.Journal = &h
+		if body.Ready && h.LastError != "" {
+			body.Ready = false
+			body.Reason = "journal degraded: " + h.LastError
+		}
+	}
+	status := http.StatusOK
+	if !body.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, body)
 }
