@@ -8,10 +8,12 @@ package cellbe
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"testing"
 
 	"cellbe/internal/cell"
+	"cellbe/internal/perfctr"
 	"cellbe/internal/sim"
 )
 
@@ -49,6 +51,51 @@ func TestEIBSaturatedAllocGuard(t *testing.T) {
 	if perOp > limit {
 		t.Fatalf("untraced saturated run allocates %.0f allocs/op, baseline %.0f (limit %.0f): tracing hooks are no longer free when off",
 			perOp, baseline, limit)
+	}
+}
+
+// TestEIBSaturatedCounterGuard extends the zero-cost-when-off contract
+// to the perf-counter subsystem: running the saturated benchmark
+// scenario with a counter block attached must finish at the identical
+// cycle with identical EIB statistics (counters observe arbitration,
+// never participate in it), and the counters themselves must stay
+// allocation-free — the counted run may allocate at most the one
+// Counters block more than the bare run. The BENCH_eib.json baseline
+// needs no update: with cycles and allocations unchanged, the recorded
+// figures still describe the counters-off path exactly.
+func TestEIBSaturatedCounterGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full saturated run: skipped in -short mode")
+	}
+	sc := saturatedScenario()
+	signature := func(counted bool) (string, float64) {
+		var sig string
+		perOp := testing.AllocsPerRun(1, func() {
+			cfg := cell.DefaultConfig()
+			cfg.Layout = cell.RandomLayout(3)
+			sys := cell.New(cfg)
+			if counted {
+				sys.SetPerf(&perfctr.Counters{})
+			}
+			if _, err := sc.Install(sys); err != nil {
+				t.Fatal(err)
+			}
+			sys.Run()
+			st := sys.Bus.Stats()
+			sig = fmt.Sprintf("now=%d transfers=%d local=%d bytes=%d cmds=%d busy=%v wait=%d",
+				sys.Eng.Now(), st.Transfers, st.LocalTransfers, st.Bytes, st.Commands, st.BusyCycles, st.WaitCycles)
+		})
+		return sig, perOp
+	}
+	bare, bareAllocs := signature(false)
+	counted, countedAllocs := signature(true)
+	if bare != counted {
+		t.Errorf("counters perturbed the simulation\n bare:    %s\n counted: %s", bare, counted)
+	}
+	// One Counters block plus generous runtime noise; any per-transfer
+	// counter allocation would add tens of thousands (32768 transfers).
+	if countedAllocs > bareAllocs+16 {
+		t.Errorf("counted run allocates %.0f vs bare %.0f: counter hooks allocate on the hot path", countedAllocs, bareAllocs)
 	}
 }
 

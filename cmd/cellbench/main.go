@@ -8,6 +8,7 @@
 //	cellbench -all -format csv > results.csv
 //	cellbench -experiment spe-couples -paper -full
 //	cellbench -sweep cycle -spes 8 -chunks 1024,4096,16384 -seeds 32 -workers 8
+//	cellbench -sweep mem -spes 4 -seeds 4 -perf
 //
 // The default parameters move 2 MB per SPE across 10 sampled SPE layouts;
 // -paper switches to the full 32 MB per SPE of the original setup.
@@ -59,6 +60,7 @@ func main() {
 		traceEvents  = flag.Int("trace-events", 1<<20, "trace ring-buffer capacity")
 		metricsOut   = flag.String("metrics", "", "sweep only: write a utilization timeseries CSV of the first grid point to this file")
 		metricsEvery = flag.Int64("metrics-every", 10000, "metrics sampling interval in cycles")
+		perfOn       = flag.Bool("perf", false, "sweep only: print the perf-counter cross-validation report for the first grid point on stderr")
 
 		conform      = flag.Bool("conformance", false, "evaluate every paper claim of internal/conformance and print a PASS/FAIL report")
 		conformShort = flag.Bool("conformance-short", false, "with -conformance: only the quick core-physics subset")
@@ -116,6 +118,7 @@ func main() {
 		traceEvents:  *traceEvents,
 		metricsOut:   *metricsOut,
 		metricsEvery: *metricsEvery,
+		perf:         *perfOn,
 	}
 	if *sweep != "" {
 		if err := runSweep(*sweep, *spes, *op, *dmalist, *chunks, *seeds, *seed, *volume, *workers, base, *quiet, obs); err != nil {
@@ -124,11 +127,11 @@ func main() {
 		}
 		return
 	}
-	if obs.traceOut != "" || obs.metricsOut != "" {
+	if obs.traceOut != "" || obs.metricsOut != "" || obs.perf {
 		// The experiment runner fans layout samples across goroutines, so a
 		// single tracer cannot be attached to "the" run; tracing is defined
 		// only for one designated grid point of a sweep.
-		fmt.Fprintln(os.Stderr, "cellbench: -trace and -metrics require -sweep (they instrument the first grid point)")
+		fmt.Fprintln(os.Stderr, "cellbench: -trace, -metrics and -perf require -sweep (they instrument the first grid point)")
 		os.Exit(2)
 	}
 
@@ -237,6 +240,7 @@ type observability struct {
 	traceEvents  int
 	metricsOut   string
 	metricsEvery int64
+	perf         bool
 }
 
 // runSweep parses the sweep flags, fans the grid across workers via
@@ -277,7 +281,8 @@ func runSweep(scenario string, spes int, op string, dmalist bool, chunkList stri
 	// buffers recycle exactly as in an uninstrumented sweep.
 	var tracer *trace.Tracer
 	var sampler *trace.Sampler
-	if obs.traceOut != "" || obs.metricsOut != "" {
+	var perfSys *cell.System
+	if obs.traceOut != "" || obs.metricsOut != "" || obs.perf {
 		mask, err := trace.ParseFilter(obs.traceFilter)
 		if err != nil {
 			return err
@@ -296,6 +301,12 @@ func runSweep(scenario string, spes int, op string, dmalist bool, chunkList stri
 			}
 			if obs.metricsOut != "" {
 				sampler = sys.StartMetrics(sim.Time(obs.metricsEvery))
+			}
+			if obs.perf {
+				// The sweep runner attaches a fresh counter block to
+				// every point before this hook runs; retaining the
+				// System is enough to read it back afterwards.
+				perfSys = sys
 			}
 			return true
 		}
@@ -367,6 +378,35 @@ func runSweep(scenario string, spes int, op string, dmalist bool, chunkList stri
 	}
 	if failed > 0 {
 		return fmt.Errorf("%d of %d grid points failed (see error column)", failed, len(results))
+	}
+	if perfSys != nil {
+		var point *core.SweepResult
+		for i := range results {
+			if results[i].Chunk == chunkSizes[0] && results[i].Seed == seedList[0] {
+				point = &results[i]
+				break
+			}
+		}
+		if point == nil || perfSys.Perf() == nil {
+			return fmt.Errorf("-perf: instrumented point chunk=%d seed=%d not found in results", chunkSizes[0], seedList[0])
+		}
+		cfg := cell.DefaultConfig()
+		if base != nil {
+			cfg = *base
+		}
+		rep := report.BuildPerf(report.PerfInput{
+			Rollup:    perfSys.Perf().Rollup(),
+			ClockGHz:  cfg.ClockGHz,
+			AppGBps:   point.GBps,
+			AppCycles: point.Cycles,
+		})
+		fmt.Fprintf(os.Stderr, "\nperf counters (point chunk=%d seed=%d):\n", point.Chunk, point.Seed)
+		if err := rep.Write(os.Stderr); err != nil {
+			return err
+		}
+		if !rep.OK() {
+			return fmt.Errorf("-perf: counter-derived bandwidth disagrees with application measurement beyond %.0f%% tolerance", rep.Tolerance*100)
+		}
 	}
 	return nil
 }

@@ -10,7 +10,9 @@
 //	cellserve -addr :8080 -workers 8 -cache 4096 -rate 5 -journal /var/lib/cellserve
 //
 // Liveness is GET /healthz/live, readiness GET /healthz/ready; sweeps
-// stream NDJSON from POST /v1/sweeps. The first SIGINT/SIGTERM drains
+// stream NDJSON from POST /v1/sweeps; GET /metrics exposes scheduler
+// depth, cache and journal health plus the simulated perf-counter
+// rollups in Prometheus text format. The first SIGINT/SIGTERM drains
 // gracefully (open streams finish, the journal is flushed and closed);
 // a second signal forces immediate exit with status 3.
 package main

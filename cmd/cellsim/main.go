@@ -8,6 +8,7 @@
 //	cellsim -scenario pair -chunk 4096 -seed 3
 //	cellsim -scenario cycle -spes 8
 //	cellsim -scenario mem -spes 4 -op copy
+//	cellsim -scenario mem -spes 4 -perf -perf-every 50000
 //	cellsim -scenario cycle -spes 8 -faults mfc-retry:0.01,xdr-stall:0.05 -fault-seed 7
 //	cellsim -scenario wedge -spes 4 -max-cycles 100000
 package main
@@ -23,6 +24,7 @@ import (
 	"cellbe/internal/core"
 	"cellbe/internal/eib"
 	"cellbe/internal/fault"
+	"cellbe/internal/perfctr"
 	"cellbe/internal/report"
 	"cellbe/internal/sim"
 	"cellbe/internal/trace"
@@ -50,6 +52,9 @@ func main() {
 		traceEvents  = flag.Int("trace-events", 1<<20, "trace ring-buffer capacity (oldest events drop beyond it)")
 		metricsOut   = flag.String("metrics", "", "write a utilization timeseries CSV to this file")
 		metricsEvery = flag.Int64("metrics-every", 10000, "metrics sampling interval in cycles")
+
+		perfOn    = flag.Bool("perf", false, "print the perf-counter report and the counter-vs-application bandwidth cross-check (exit 1 on disagreement)")
+		perfEvery = flag.Int64("perf-every", 0, "perf-counter window snapshot interval in cycles (0 = totals only)")
 	)
 	flag.Parse()
 
@@ -94,6 +99,7 @@ func main() {
 		os.Exit(2)
 	}
 	var sampler *trace.Sampler
+	var perfWindows *perfctr.Windows
 	// instrument attaches the observability hooks to the run's System.
 	instrument := func(sys *cell.System) {
 		if *traceOut != "" {
@@ -102,6 +108,16 @@ func main() {
 		}
 		if *metricsOut != "" {
 			sampler = sys.StartMetrics(sim.Time(*metricsEvery))
+		}
+		if *perfOn {
+			// The sweep scheduler attaches counters to every point; the
+			// timeline path drives the System directly and needs its own.
+			if sys.Perf() == nil {
+				sys.SetPerf(&perfctr.Counters{})
+			}
+			if *perfEvery > 0 {
+				perfWindows = sys.StartPerfWindows(sim.Time(*perfEvery))
+			}
 		}
 	}
 	// flushObservability writes the trace and metrics files; it runs on
@@ -265,6 +281,29 @@ func main() {
 		for _, tr := range sys.Bus.Trace() {
 			fmt.Printf("%d,%d,%d,%v,%v,%d,%d\n",
 				tr.Issued, tr.Start, tr.End, tr.Src, tr.Dst, tr.Bytes, tr.Ring)
+		}
+	}
+
+	if *perfOn {
+		rep := report.BuildPerf(report.PerfInput{
+			Rollup:    sys.Perf().Rollup(),
+			Windows:   perfWindows,
+			ClockGHz:  cfg.ClockGHz,
+			AppGBps:   gbps,
+			AppCycles: cycles,
+		})
+		fmt.Printf("\nperf counters:\n")
+		if err := rep.Write(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "cellsim: %v\n", err)
+			os.Exit(1)
+		}
+		if !rep.OK() {
+			// A failed cross-check means the counter and application
+			// derivations disagree — the methodology bug the validator
+			// exists to catch. Fail loudly so CI notices.
+			fmt.Fprintf(os.Stderr, "cellsim: perf cross-check failed (counter-derived vs application bandwidth beyond %.1f%%)\n",
+				rep.Tolerance*100)
+			os.Exit(1)
 		}
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"cellbe/internal/eib"
 	"cellbe/internal/fault"
 	"cellbe/internal/mfc"
+	"cellbe/internal/perfctr"
 	"cellbe/internal/ppe"
 	"cellbe/internal/sim"
 	"cellbe/internal/spe"
@@ -119,6 +120,7 @@ type System struct {
 	rem       *remoteChip
 	faults    *fault.Injector
 	tracer    *trace.Tracer
+	perf      *perfctr.Counters
 	pktFree   *pktDone // free list of packet completion records (engine is single-threaded)
 }
 
@@ -232,6 +234,44 @@ func (s *System) SetTracer(tr *trace.Tracer) {
 	}
 	tr.SetTrackName(trace.BankTrack(0), "XDR local (MIC)")
 	tr.SetTrackName(trace.BankTrack(1), "XDR remote (IOIF0)")
+}
+
+// Perf returns the attached perf-counter block (nil when counting is off).
+func (s *System) Perf() *perfctr.Counters { return s.perf }
+
+// SetPerf wires a perf-counter block through every component — the EIB,
+// both XDR banks, all eight MFCs and the PPE — following the SetFaults
+// discipline: nil (the default) leaves every hot path on its counter-off
+// fast path, so an uncounted run is bit- and allocation-identical to one
+// without the subsystem. Counters are plain uint64 increments, so unlike
+// tracing they are cheap enough to leave on for every sweep point.
+func (s *System) SetPerf(pc *perfctr.Counters) {
+	s.perf = pc
+	s.Mem.SetPerf(pc)
+	if pc == nil {
+		s.Bus.SetPerf(nil)
+		s.PPE.SetPerf(nil)
+		for _, sp := range s.SPEs {
+			sp.MFC().SetPerf(nil)
+		}
+		return
+	}
+	s.Bus.SetPerf(&pc.EIB)
+	s.PPE.SetPerf(&pc.PPE)
+	for i, sp := range s.SPEs {
+		sp.MFC().SetPerf(&pc.MFC[i])
+	}
+}
+
+// StartPerfWindows arms periodic snapshots of the attached counter block,
+// every interval cycles, for windowed bandwidth derivation. Like
+// StartMetrics it rides daemon events and never extends a run; the final
+// partial interval goes unsampled. Panics if SetPerf has not been called.
+func (s *System) StartPerfWindows(interval sim.Time) *perfctr.Windows {
+	if s.perf == nil {
+		panic("cell: StartPerfWindows requires SetPerf")
+	}
+	return s.perf.StartWindows(s.Eng, interval)
 }
 
 // StartMetrics arms a periodic utilization sampler on the system: every

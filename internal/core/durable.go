@@ -25,6 +25,7 @@ func resultRecord(res SweepResult) journal.PointRecord {
 		Commands:   res.Commands,
 		FaultSeed:  res.FaultSeed,
 		Attempts:   res.Attempts,
+		Perf:       res.Perf,
 		Log:        res.Log,
 	}
 	if res.Err != nil {
@@ -46,6 +47,7 @@ func recordResult(rec journal.PointRecord) SweepResult {
 		Commands:   rec.Commands,
 		FaultSeed:  rec.FaultSeed,
 		Attempts:   rec.Attempts,
+		Perf:       rec.Perf,
 		Log:        rec.Log,
 	}
 }

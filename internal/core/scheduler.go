@@ -9,11 +9,13 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
 	"cellbe/internal/cell"
 	"cellbe/internal/journal"
+	"cellbe/internal/perfctr"
 	"cellbe/internal/sim"
 )
 
@@ -102,6 +104,9 @@ type Scheduler struct {
 
 	sims    atomic.Int64 // points actually simulated (cache hits excluded)
 	pending atomic.Int64 // grid points admitted but not yet delivered or skipped
+
+	perfMu sync.Mutex
+	perf   perfctr.Rollup // counter totals over every delivered point
 
 	mu      sync.Mutex
 	closed  bool
@@ -214,6 +219,7 @@ func (s *Scheduler) SubmitWith(ctx context.Context, spec SweepSpec, opts SubmitO
 	jctx, cancel := context.WithCancel(ctx)
 	j := &Job{
 		ID:      id,
+		seq:     s.nextID,
 		sched:   s,
 		spec:    spec,
 		grid:    grid,
@@ -297,6 +303,28 @@ func (s *Scheduler) CacheStats() CacheStats {
 	}
 	st.Simulations = s.sims.Load()
 	return st
+}
+
+// PerfTotals returns the perf-counter rollup summed over every point the
+// scheduler has delivered (cache hits carry their memoized rollup) — the
+// always-on observability tier the /metrics endpoint exposes.
+func (s *Scheduler) PerfTotals() perfctr.Rollup {
+	s.perfMu.Lock()
+	defer s.perfMu.Unlock()
+	return s.perf
+}
+
+// Jobs snapshots every job still tracked (unfinished, plus finished jobs
+// not yet pruned), ordered by submission.
+func (s *Scheduler) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].seq < out[k].seq })
+	return out
 }
 
 // feed pushes the job's grid points to the worker pool, abandoning the
@@ -471,6 +499,7 @@ type JobStatus struct {
 // worker pool and stream out of Results in completion order.
 type Job struct {
 	ID      string
+	seq     int64 // submission order, for stable Jobs() listings
 	sched   *Scheduler
 	spec    SweepSpec
 	grid    []gridPoint
@@ -490,6 +519,7 @@ type Job struct {
 	retried   int
 	poisoned  int
 	finished  bool
+	perf      perfctr.Rollup // counter totals over delivered points
 }
 
 // Total returns the number of grid points in the job.
@@ -547,6 +577,11 @@ func (j *Job) markStarted() {
 func (j *Job) deliver(r PointResult) {
 	j.results <- r
 	j.sched.pending.Add(-1)
+	if r.Perf != nil {
+		j.sched.perfMu.Lock()
+		j.sched.perf.Add(*r.Perf)
+		j.sched.perfMu.Unlock()
+	}
 	j.mu.Lock()
 	j.delivered++
 	if r.Err != nil {
@@ -562,6 +597,9 @@ func (j *Job) deliver(r PointResult) {
 	if errors.As(r.Err, &pe) {
 		j.poisoned++
 	}
+	if r.Perf != nil {
+		j.perf.Add(*r.Perf)
+	}
 	fin := !j.finished && j.delivered+j.skipped == len(j.grid)
 	if fin {
 		j.finished = true
@@ -570,6 +608,14 @@ func (j *Job) deliver(r PointResult) {
 	if fin {
 		j.finish()
 	}
+}
+
+// Perf returns the perf-counter rollup summed over the job's delivered
+// points so far (cache hits included via their memoized rollups).
+func (j *Job) Perf() perfctr.Rollup {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.perf
 }
 
 // skip accounts n grid points that will never run (cancellation).

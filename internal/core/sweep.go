@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"cellbe/internal/cell"
+	"cellbe/internal/perfctr"
 	"cellbe/internal/sim"
 )
 
@@ -102,6 +103,12 @@ type SweepResult struct {
 	// (1 = first try; >1 means the retry policy re-ran a transient
 	// failure). Zero only on skipped/unset results.
 	Attempts int
+	// Perf is the point's perf-counter rollup. Counters are cheap enough
+	// (plain uint64 increments, never allocating, never touching event
+	// timing) that every simulated point carries one; it rides the memo
+	// cache and the journal with the rest of the result. Nil on failed
+	// points and on results journaled before the counter subsystem.
+	Perf *perfctr.Rollup
 	// Err records why this grid point failed (deadlock diagnostic,
 	// recovered panic, ...); the rest of the sweep still runs. Numeric
 	// fields are zero when Err is set.
@@ -210,6 +217,11 @@ func runPoint(spec *SweepSpec, chunk int, seed int64, attempt int) (res SweepRes
 		res.FaultSeed = cfg.FaultSeed
 	}
 	sys := cell.New(cfg)
+	// Counters on by default for every point: the always-on observability
+	// tier. The Instrument hook runs after, so it may replace or extend
+	// the block — the harvest below reads whatever the system ended up
+	// with via sys.Perf().
+	sys.SetPerf(&perfctr.Counters{})
 	retained := false
 	if spec.Instrument != nil {
 		retained = spec.Instrument(chunk, seed, sys)
@@ -238,6 +250,10 @@ func runPoint(spec *SweepSpec, chunk int, seed int64, attempt int) (res SweepRes
 	res.Transfers = st.Transfers
 	res.WaitCycles = st.WaitCycles
 	res.Commands = st.Commands
+	if pc := sys.Perf(); pc != nil {
+		ru := pc.Rollup()
+		res.Perf = &ru
+	}
 	return res
 }
 

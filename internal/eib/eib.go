@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"cellbe/internal/fault"
+	"cellbe/internal/perfctr"
 	"cellbe/internal/sim"
 	"cellbe/internal/trace"
 )
@@ -199,6 +200,7 @@ type EIB struct {
 	pruneTick uint32
 	faults    *fault.Injector
 	tracer    *trace.Tracer
+	perf      *perfctr.EIBCounters
 	stats     Stats
 	trace     []TransferRecord
 	traceNext int
@@ -211,6 +213,10 @@ func (e *EIB) SetFaults(inj *fault.Injector) { e.faults = inj }
 // SetTracer attaches an event tracer (nil disables tracing, the default).
 // Wired by the cell package at system assembly, like SetFaults.
 func (e *EIB) SetTracer(tr *trace.Tracer) { e.tracer = tr }
+
+// SetPerf attaches a perf-counter block (nil disables counting, the
+// default). Wired by the cell package at system assembly, like SetFaults.
+func (e *EIB) SetPerf(pc *perfctr.EIBCounters) { e.perf = pc }
 
 // CommandBacklog returns how many cycles the command bus pacing cursor sits
 // ahead of now: the queueing delay the next command would see. It is the
@@ -360,6 +366,7 @@ func (e *EIB) Command(earliest sim.Time) sim.Time {
 	}
 	e.cmdNextTenths = tenths + e.cfg.CmdIntervalTenths
 	e.stats.Commands++
+	e.perf.Command()
 	grant := sim.Time((tenths + 9) / 10)
 	return grant + e.cfg.CmdLatency
 }
@@ -433,6 +440,7 @@ func (e *EIB) transfer(src, dst RampID, bytes int, earliest sim.Time) sim.Time {
 		e.stats.LocalTransfers++
 		e.stats.WaitCycles += 0 // local transfers wait on nothing, by definition
 		e.stats.Bytes += int64(bytes)
+		e.perf.Local(bytes)
 		e.record(TransferRecord{Issued: e.eng.Now(), Start: earliest, End: end, Src: src, Dst: dst, Bytes: bytes, Ring: -1})
 		e.tracer.Emit(trace.RampTrack(int(src)), trace.KindTransfer,
 			earliest, end, int64(bytes), -1, int64(dst), 0)
@@ -477,6 +485,7 @@ rings:
 	for ri := range e.rings {
 		r := &e.rings[ri]
 		if ri == outage {
+			e.perf.Abandon(int(src))
 			continue
 		}
 		rt := &routeTable[r.dir][src][dst]
@@ -512,6 +521,7 @@ rings:
 			// the best ring so far this ring is out of the running (ties
 			// go to the earliest ring index, which the best ring holds).
 			if bestRing != -1 && next >= bestStart {
+				e.perf.Deny(int(src))
 				continue rings
 			}
 			// A segment pushed the grant: re-converge the ports at the
@@ -520,6 +530,7 @@ rings:
 			// happens with every constraint checked at start.
 			start, oIdx, iIdx = e.portsFit(src, dst, next, dur, oIdx, iIdx)
 			if bestRing != -1 && start >= bestStart {
+				e.perf.Deny(int(src))
 				continue rings
 			}
 		}
@@ -574,6 +585,7 @@ rings:
 	e.stats.PerRingTransfers[bestRing]++
 	e.stats.PerRingBytes[bestRing] += int64(bytes)
 	e.stats.PerDirBytes[r.dir] += int64(bytes)
+	e.perf.Grant(int(src), bestRing, uint64(dur), uint64(bestStart-earliest), bytes)
 	e.record(TransferRecord{Issued: e.eng.Now(), Start: bestStart, End: end, Src: src, Dst: dst, Bytes: bytes, Ring: bestRing})
 
 	e.tracer.Emit(trace.RampTrack(int(src)), trace.KindTransfer,

@@ -36,6 +36,8 @@ import (
 	"path/filepath"
 	"sync"
 	"time"
+
+	"cellbe/internal/perfctr"
 )
 
 // FileName is the journal's file name inside its directory.
@@ -110,6 +112,11 @@ type PointRecord struct {
 	Error      string   `json:"error,omitempty"`
 	Code       string   `json:"code,omitempty"`
 	Log        []string `json:"log,omitempty"`
+	// Perf is the point's perf-counter rollup; nil on failed points and
+	// on records journaled before the counter subsystem existed (both
+	// replay fine — a warmed point without counters just contributes
+	// nothing to the rollup totals).
+	Perf *perfctr.Rollup `json:"perf,omitempty"`
 }
 
 // Ok reports whether the point completed successfully (replayable into

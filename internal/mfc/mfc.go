@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"cellbe/internal/fault"
+	"cellbe/internal/perfctr"
 	"cellbe/internal/sim"
 	"cellbe/internal/trace"
 )
@@ -193,6 +194,7 @@ type MFC struct {
 	faults *fault.Injector
 
 	tracer   *trace.Tracer
+	perf     *perfctr.MFCCounters
 	traceSPE int               // logical SPE index for track identity
 	tagStart [NumTags]sim.Time // cycle each tag group last went busy
 
@@ -241,6 +243,10 @@ func (m *MFC) SetTracer(tr *trace.Tracer, spe int) {
 	m.tracer = tr
 	m.traceSPE = spe
 }
+
+// SetPerf attaches a perf-counter block (nil disables counting, the
+// default). Wired by the cell package at system assembly, like SetFaults.
+func (m *MFC) SetPerf(pc *perfctr.MFCCounters) { m.perf = pc }
 
 // QueueOccupancy returns the number of occupied SPU command-queue slots
 // (the metrics sampler's per-SPE queue-depth gauge).
@@ -340,6 +346,7 @@ func (m *MFC) enqueue(c Cmd, done func(), proxy bool) error {
 			return ErrQueueFull
 		}
 		m.spuQueue++
+		m.perf.SampleQueue(m.spuQueue)
 	}
 	m.seq++
 	st := &cmdState{cmd: c, seq: m.seq, proxy: proxy, done: done, readyAt: -1, issued: m.eng.Now()}
@@ -495,7 +502,10 @@ func (m *MFC) pump() {
 		// Injected command-bus token denial: the packet's issue slides by
 		// the retry backoff, pushing later packets with it (the DMA
 		// controller re-requests the token in order).
-		t += m.faults.MFCRetry()
+		if d := m.faults.MFCRetry(); d > 0 {
+			t += d
+			m.perf.Retry()
+		}
 		if !st.started {
 			st.started = true
 			t += m.cfg.SetupCycles

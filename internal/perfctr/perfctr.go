@@ -1,0 +1,367 @@
+// Package perfctr simulates the Cell blade's hardware performance
+// counters: plain monotonic uint64s incremented at the model's existing
+// decision points (EIB arbitration, XDR bank access, MFC queue pumps,
+// PPE cache fills). The package follows the repo's nil-safe
+// observability discipline — every hook method is a no-op on a nil
+// receiver, so components hold a possibly-nil counter pointer and a run
+// with counters disabled is bit- and allocation-identical to one
+// without the subsystem compiled in at all.
+//
+// Counters are the cheap always-on tier: incrementing a uint64 costs a
+// few nanoseconds and never allocates, so the sweep scheduler attaches
+// a Counters block to every grid point and rolls the totals into
+// SweepResult. Full Perfetto traces (internal/trace) remain the opt-in
+// deep tier. Periodic window snapshots ride the engine's daemon events
+// (sim.Engine.EveryDaemon), so sampling never extends a run.
+package perfctr
+
+import "cellbe/internal/sim"
+
+// Model dimensions mirrored from internal/cell's hardware constants.
+// They are repeated here (rather than imported) so the counter block
+// stays a leaf package importable from anywhere, including
+// internal/journal.
+const (
+	NumRamps = 12 // EIB on/off ramps (8 SPE + PPE, MIC, 2x BIF/IOIF)
+	NumRings = 4  // EIB data rings
+	NumSPEs  = 8
+	NumBanks = 2 // XDR memory banks
+
+	// RowBytes is the counter model's DRAM row granularity: two
+	// accesses RowBytes apart open different rows. It is a
+	// counter-only notion — the timing model (internal/xdr) tracks
+	// service slots, not rows — chosen to match a 2 KiB XDR page.
+	RowBytes = 2048
+
+	// QueueBuckets is the MFC occupancy histogram size: queue depths
+	// 0..QueueBuckets-1, with the last bucket absorbing anything
+	// deeper. Sized for the hardware's 16-entry MFC queue plus a
+	// bucket for depth 16 itself.
+	QueueBuckets = 17
+)
+
+// EIBCounters counts element-interconnect-bus arbitration outcomes.
+// Grants/Denies/Abandons are per source ramp; RingBusy is per data ring.
+type EIBCounters struct {
+	Grants   [NumRamps]uint64 // transfers granted a ring slot, by source ramp
+	Denies   [NumRamps]uint64 // candidate rings denied mid-search (another ring already grants earlier)
+	Abandons [NumRamps]uint64 // candidate rings abandoned to an injected ring outage
+	RingBusy [NumRings]uint64 // cycles each ring spent carrying data
+
+	LocalGrants uint64 // same-ramp transfers that never touched a ring
+	WaitCycles  uint64 // total cycles transfers waited for a ring slot
+	Bytes       uint64 // payload bytes moved (local + ring)
+	Commands    uint64 // command-phase slots consumed on the address bus
+}
+
+// Command counts one command-phase slot.
+func (c *EIBCounters) Command() {
+	if c == nil {
+		return
+	}
+	c.Commands++
+}
+
+// Local counts a same-ramp transfer of n bytes (no ring involved).
+func (c *EIBCounters) Local(n int) {
+	if c == nil {
+		return
+	}
+	c.LocalGrants++
+	c.Bytes += uint64(n)
+}
+
+// Grant counts a ring grant from source ramp src on ring r: busy cycles
+// of ring occupancy, wait cycles of arbitration delay, n payload bytes.
+func (c *EIBCounters) Grant(src, r int, busy, wait uint64, n int) {
+	if c == nil {
+		return
+	}
+	c.Grants[src]++
+	c.RingBusy[r] += busy
+	c.WaitCycles += wait
+	c.Bytes += uint64(n)
+}
+
+// Deny counts an arbitration pass from ramp src that found no ring.
+func (c *EIBCounters) Deny(src int) {
+	if c == nil {
+		return
+	}
+	c.Denies[src]++
+}
+
+// Abandon counts a request from ramp src dropped by a ramp outage.
+func (c *EIBCounters) Abandon(src int) {
+	if c == nil {
+		return
+	}
+	c.Abandons[src]++
+}
+
+// GrantTotal returns ring grants summed over ramps (excludes LocalGrants).
+func (c *EIBCounters) GrantTotal() uint64 {
+	if c == nil {
+		return 0
+	}
+	var t uint64
+	for _, g := range c.Grants {
+		t += g
+	}
+	return t
+}
+
+// BankCounters counts one XDR bank's row behaviour and refresh stalls.
+// The row model is counter-local: the bank remembers the last row
+// touched, and an access to a different row is a miss that opens it.
+type BankCounters struct {
+	RowOpens      uint64 // rows activated (first access + every miss)
+	RowHits       uint64 // accesses landing in the open row
+	RowMisses     uint64 // accesses forcing a row change
+	RefreshStalls uint64 // refresh windows that closed the open row
+	ReadBytes     uint64
+	WriteBytes    uint64
+
+	lastRow int64
+	opened  bool
+}
+
+// Access counts an n-byte read or write at bank-relative address addr.
+func (c *BankCounters) Access(addr int64, n int, write bool) {
+	if c == nil {
+		return
+	}
+	row := addr / RowBytes
+	switch {
+	case !c.opened:
+		c.opened = true
+		c.lastRow = row
+		c.RowOpens++
+		c.RowMisses++
+	case row == c.lastRow:
+		c.RowHits++
+	default:
+		c.lastRow = row
+		c.RowOpens++
+		c.RowMisses++
+	}
+	if write {
+		c.WriteBytes += uint64(n)
+	} else {
+		c.ReadBytes += uint64(n)
+	}
+}
+
+// Refresh counts a refresh window, which closes the open row: the next
+// access misses regardless of its address, as on hardware.
+func (c *BankCounters) Refresh() {
+	if c == nil {
+		return
+	}
+	c.RefreshStalls++
+	c.opened = false
+}
+
+// Bytes returns the bank's total traffic.
+func (c *BankCounters) Bytes() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.ReadBytes + c.WriteBytes
+}
+
+// MFCCounters counts one SPE's memory-flow-controller queue behaviour.
+type MFCCounters struct {
+	Occupancy [QueueBuckets]uint64 // enqueue-time queue depth histogram
+	Retries   uint64               // command-bus retries (fault injection)
+}
+
+// SampleQueue records the queue depth observed at an enqueue.
+func (c *MFCCounters) SampleQueue(depth int) {
+	if c == nil {
+		return
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	if depth >= QueueBuckets {
+		depth = QueueBuckets - 1
+	}
+	c.Occupancy[depth]++
+}
+
+// Retry counts one command-bus retry.
+func (c *MFCCounters) Retry() {
+	if c == nil {
+		return
+	}
+	c.Retries++
+}
+
+// PPECounters counts PPE-side cache events.
+type PPECounters struct {
+	MissQStalls   uint64 // demand loads that stalled on the L2 miss queue
+	Fills         uint64 // L2 miss fills issued to memory (demand and prefetch)
+	PrefetchFills uint64 // the subset of fills issued by the prefetch engine
+}
+
+// MissQStall counts a demand load stalled behind the miss queue.
+func (c *PPECounters) MissQStall() {
+	if c == nil {
+		return
+	}
+	c.MissQStalls++
+}
+
+// Fill counts an L2 miss fill fetched from memory.
+func (c *PPECounters) Fill() {
+	if c == nil {
+		return
+	}
+	c.Fills++
+}
+
+// PrefetchFill counts a prefetch fill fetched from memory.
+func (c *PPECounters) PrefetchFill() {
+	if c == nil {
+		return
+	}
+	c.PrefetchFills++
+}
+
+// Counters is one system's full counter block. The zero value is ready
+// to use; components receive pointers into it via cell.System.SetPerf.
+type Counters struct {
+	EIB EIBCounters
+	XDR [NumBanks]BankCounters
+	MFC [NumSPEs]MFCCounters
+	PPE PPECounters
+}
+
+// Rollup is the flat, JSON-serializable summary of a Counters block:
+// the per-ramp/per-ring/per-bucket detail collapsed to totals that can
+// ride in a SweepResult, a journal point record, or a /metrics gauge.
+type Rollup struct {
+	EIBBytes      uint64 `json:"eib_bytes,omitempty"`
+	EIBGrants     uint64 `json:"eib_grants,omitempty"`
+	EIBLocal      uint64 `json:"eib_local,omitempty"`
+	EIBDenies     uint64 `json:"eib_denies,omitempty"`
+	EIBAbandons   uint64 `json:"eib_abandons,omitempty"`
+	EIBBusyCycles uint64 `json:"eib_busy_cycles,omitempty"`
+	EIBWaitCycles uint64 `json:"eib_wait_cycles,omitempty"`
+	EIBCommands   uint64 `json:"eib_commands,omitempty"`
+
+	XDRBytes     [NumBanks]uint64 `json:"xdr_bytes"`
+	XDRRowHits   [NumBanks]uint64 `json:"xdr_row_hits"`
+	XDRRowMisses [NumBanks]uint64 `json:"xdr_row_misses"`
+	XDRRefreshes [NumBanks]uint64 `json:"xdr_refreshes"`
+
+	MFCRetries uint64 `json:"mfc_retries,omitempty"`
+
+	PPEMissQStalls   uint64 `json:"ppe_missq_stalls,omitempty"`
+	PPEFills         uint64 `json:"ppe_fills,omitempty"`
+	PPEPrefetchFills uint64 `json:"ppe_prefetch_fills,omitempty"`
+}
+
+// Rollup collapses the counter block to its serializable summary. A nil
+// receiver returns the zero Rollup.
+func (c *Counters) Rollup() Rollup {
+	var r Rollup
+	if c == nil {
+		return r
+	}
+	r.EIBBytes = c.EIB.Bytes
+	r.EIBGrants = c.EIB.GrantTotal()
+	r.EIBLocal = c.EIB.LocalGrants
+	r.EIBWaitCycles = c.EIB.WaitCycles
+	r.EIBCommands = c.EIB.Commands
+	for _, d := range c.EIB.Denies {
+		r.EIBDenies += d
+	}
+	for _, a := range c.EIB.Abandons {
+		r.EIBAbandons += a
+	}
+	for _, b := range c.EIB.RingBusy {
+		r.EIBBusyCycles += b
+	}
+	for i := range c.XDR {
+		r.XDRBytes[i] = c.XDR[i].Bytes()
+		r.XDRRowHits[i] = c.XDR[i].RowHits
+		r.XDRRowMisses[i] = c.XDR[i].RowMisses
+		r.XDRRefreshes[i] = c.XDR[i].RefreshStalls
+	}
+	for i := range c.MFC {
+		r.MFCRetries += c.MFC[i].Retries
+	}
+	r.PPEMissQStalls = c.PPE.MissQStalls
+	r.PPEFills = c.PPE.Fills
+	r.PPEPrefetchFills = c.PPE.PrefetchFills
+	return r
+}
+
+// Add accumulates other into r, field by field (for per-job and
+// per-scheduler aggregation of point rollups).
+func (r *Rollup) Add(other Rollup) {
+	r.EIBBytes += other.EIBBytes
+	r.EIBGrants += other.EIBGrants
+	r.EIBLocal += other.EIBLocal
+	r.EIBDenies += other.EIBDenies
+	r.EIBAbandons += other.EIBAbandons
+	r.EIBBusyCycles += other.EIBBusyCycles
+	r.EIBWaitCycles += other.EIBWaitCycles
+	r.EIBCommands += other.EIBCommands
+	for i := range r.XDRBytes {
+		r.XDRBytes[i] += other.XDRBytes[i]
+		r.XDRRowHits[i] += other.XDRRowHits[i]
+		r.XDRRowMisses[i] += other.XDRRowMisses[i]
+		r.XDRRefreshes[i] += other.XDRRefreshes[i]
+	}
+	r.MFCRetries += other.MFCRetries
+	r.PPEMissQStalls += other.PPEMissQStalls
+	r.PPEFills += other.PPEFills
+	r.PPEPrefetchFills += other.PPEPrefetchFills
+}
+
+// XDRBytesTotal returns traffic summed over banks.
+func (r Rollup) XDRBytesTotal() uint64 {
+	var t uint64
+	for _, b := range r.XDRBytes {
+		t += b
+	}
+	return t
+}
+
+// Snapshot is one windowed sample of the byte counters.
+type Snapshot struct {
+	Cycle    sim.Time
+	EIBBytes uint64
+	XDRBytes [NumBanks]uint64
+}
+
+// Windows holds periodic counter snapshots taken by a daemon sampler.
+// Snaps[0] is the arm-time baseline; each later entry is one interval
+// on. The final partial interval goes unsampled (daemon events never
+// extend a run), which is exactly the timing-window subtlety the
+// report-layer cross-check exists to police.
+type Windows struct {
+	Interval sim.Time
+	Snaps    []Snapshot
+}
+
+// StartWindows arms periodic snapshots of c on eng, every interval
+// cycles, returning the accumulating window set. The first entry is
+// recorded immediately as the baseline. Panics on a non-positive
+// interval (via sim.Engine.EveryDaemon).
+func (c *Counters) StartWindows(eng *sim.Engine, interval sim.Time) *Windows {
+	w := &Windows{Interval: interval}
+	snap := func() {
+		s := Snapshot{Cycle: eng.Now(), EIBBytes: c.EIB.Bytes}
+		for i := range c.XDR {
+			s.XDRBytes[i] = c.XDR[i].Bytes()
+		}
+		w.Snaps = append(w.Snaps, s)
+	}
+	snap()
+	eng.EveryDaemon(interval, snap)
+	return w
+}

@@ -1,0 +1,196 @@
+package perfctr
+
+import (
+	"encoding/json"
+	"testing"
+
+	"cellbe/internal/sim"
+)
+
+// TestNilSafety exercises every hook on a nil receiver: the nil-safe
+// observability discipline says a component holding a nil counter
+// pointer must be able to call through it freely.
+func TestNilSafety(t *testing.T) {
+	var e *EIBCounters
+	e.Command()
+	e.Local(64)
+	e.Grant(0, 0, 1, 2, 64)
+	e.Deny(3)
+	e.Abandon(4)
+	if e.GrantTotal() != 0 {
+		t.Error("nil GrantTotal != 0")
+	}
+	var b *BankCounters
+	b.Access(0, 64, false)
+	b.Refresh()
+	if b.Bytes() != 0 {
+		t.Error("nil Bytes != 0")
+	}
+	var m *MFCCounters
+	m.SampleQueue(3)
+	m.Retry()
+	var p *PPECounters
+	p.MissQStall()
+	p.Fill()
+	p.PrefetchFill()
+	var c *Counters
+	if got := c.Rollup(); got != (Rollup{}) {
+		t.Errorf("nil Counters.Rollup() = %+v, want zero", got)
+	}
+}
+
+// TestBankRowModel pins the counter-local row semantics: first touch
+// opens (and misses), same-row accesses hit, row changes miss, and a
+// refresh closes the open row so the next access misses even in-row.
+func TestBankRowModel(t *testing.T) {
+	var b BankCounters
+	b.Access(0, 64, false)            // open row 0: miss
+	b.Access(RowBytes-64, 64, false)  // same row: hit
+	b.Access(RowBytes, 64, true)      // row 1: miss
+	b.Access(RowBytes+128, 64, true)  // still row 1: hit
+	b.Refresh()                       // closes row 1
+	b.Access(RowBytes+256, 64, false) // row 1 again, but closed: miss
+	if b.RowOpens != 3 || b.RowMisses != 3 || b.RowHits != 2 || b.RefreshStalls != 1 {
+		t.Errorf("opens=%d misses=%d hits=%d refreshes=%d, want 3/3/2/1",
+			b.RowOpens, b.RowMisses, b.RowHits, b.RefreshStalls)
+	}
+	if b.ReadBytes != 192 || b.WriteBytes != 128 {
+		t.Errorf("read=%d write=%d, want 192/128", b.ReadBytes, b.WriteBytes)
+	}
+	if b.Bytes() != 320 {
+		t.Errorf("Bytes() = %d, want 320", b.Bytes())
+	}
+}
+
+// TestQueueHistogramClamp pins the occupancy histogram's bucket edges.
+func TestQueueHistogramClamp(t *testing.T) {
+	var m MFCCounters
+	m.SampleQueue(-5)               // clamps to bucket 0
+	m.SampleQueue(0)                // bucket 0
+	m.SampleQueue(QueueBuckets - 1) // last bucket, exactly
+	m.SampleQueue(1000)             // clamps to last bucket
+	if m.Occupancy[0] != 2 {
+		t.Errorf("bucket 0 = %d, want 2", m.Occupancy[0])
+	}
+	if m.Occupancy[QueueBuckets-1] != 2 {
+		t.Errorf("last bucket = %d, want 2", m.Occupancy[QueueBuckets-1])
+	}
+}
+
+// TestRollupAndAdd checks the collapse from the full counter block to
+// the flat rollup, and that Add is field-complete (a missed field here
+// silently drops a series from every aggregated /metrics view).
+func TestRollupAndAdd(t *testing.T) {
+	var c Counters
+	c.EIB.Command()
+	c.EIB.Local(100)
+	c.EIB.Grant(2, 1, 10, 5, 400)
+	c.EIB.Deny(2)
+	c.EIB.Abandon(7)
+	c.XDR[0].Access(0, 64, false)
+	c.XDR[1].Access(0, 32, true)
+	c.XDR[1].Refresh()
+	c.MFC[0].SampleQueue(1)
+	c.MFC[3].Retry()
+	c.PPE.MissQStall()
+	c.PPE.Fill()
+	c.PPE.PrefetchFill()
+
+	r := c.Rollup()
+	want := Rollup{
+		EIBBytes: 500, EIBGrants: 1, EIBLocal: 1, EIBDenies: 1, EIBAbandons: 1,
+		EIBBusyCycles: 10, EIBWaitCycles: 5, EIBCommands: 1,
+		XDRBytes:       [NumBanks]uint64{64, 32},
+		XDRRowHits:     [NumBanks]uint64{0, 0},
+		XDRRowMisses:   [NumBanks]uint64{1, 1},
+		XDRRefreshes:   [NumBanks]uint64{0, 1},
+		MFCRetries:     1,
+		PPEMissQStalls: 1, PPEFills: 1, PPEPrefetchFills: 1,
+	}
+	if r != want {
+		t.Errorf("Rollup() = %+v, want %+v", r, want)
+	}
+	if r.XDRBytesTotal() != 96 {
+		t.Errorf("XDRBytesTotal = %d, want 96", r.XDRBytesTotal())
+	}
+
+	var sum Rollup
+	sum.Add(r)
+	sum.Add(r)
+	if sum.EIBBytes != 1000 || sum.XDRBytes[1] != 64 || sum.MFCRetries != 2 || sum.PPEPrefetchFills != 2 {
+		t.Errorf("Add not field-complete: %+v", sum)
+	}
+}
+
+// TestRollupJSONRoundTrip guards the journal wire format: a rollup must
+// survive encode/decode unchanged (it rides in PointRecord).
+func TestRollupJSONRoundTrip(t *testing.T) {
+	r := Rollup{EIBBytes: 7, XDRBytes: [NumBanks]uint64{1, 2}, PPEFills: 3}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Rollup
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != r {
+		t.Errorf("round trip changed rollup: %+v -> %+v", r, back)
+	}
+}
+
+// TestStartWindows checks the daemon sampler: snapshots land every
+// interval while real work remains, the arm-time baseline is Snaps[0],
+// and sampling never extends the run past the last real event.
+func TestStartWindows(t *testing.T) {
+	eng := sim.NewEngine()
+	var c Counters
+	// A process that moves 100 bytes every 10 cycles, 10 times: last
+	// real event at cycle 100.
+	step := 0
+	var proc func()
+	proc = func() {
+		c.EIB.Local(100)
+		step++
+		if step < 10 {
+			eng.At(eng.Now()+10, proc)
+		}
+	}
+	eng.At(10, proc)
+	w := c.StartWindows(eng, 25)
+	eng.Run()
+	if got := eng.Now(); got != 100 {
+		t.Fatalf("engine ended at %d, want 100 (sampler extended the run)", got)
+	}
+	if len(w.Snaps) < 2 {
+		t.Fatalf("got %d snapshots, want baseline + periodic samples", len(w.Snaps))
+	}
+	if w.Snaps[0].Cycle != 0 || w.Snaps[0].EIBBytes != 0 {
+		t.Errorf("baseline snapshot = %+v, want cycle 0 / 0 bytes", w.Snaps[0])
+	}
+	for i := 1; i < len(w.Snaps); i++ {
+		if w.Snaps[i].Cycle != w.Snaps[i-1].Cycle+25 {
+			t.Errorf("snapshot %d at cycle %d, want %d", i, w.Snaps[i].Cycle, w.Snaps[i-1].Cycle+25)
+		}
+		if w.Snaps[i].EIBBytes < w.Snaps[i-1].EIBBytes {
+			t.Errorf("snapshot %d bytes decreased", i)
+		}
+	}
+	last := w.Snaps[len(w.Snaps)-1]
+	if last.Cycle > 100 {
+		t.Errorf("snapshot past the last real event at cycle %d", last.Cycle)
+	}
+}
+
+// TestStartWindowsBadInterval pins the contract that a non-positive
+// sampling interval panics (via sim.Engine.EveryDaemon) instead of
+// silently spinning.
+func TestStartWindowsBadInterval(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("StartWindows(0) did not panic")
+		}
+	}()
+	var c Counters
+	c.StartWindows(sim.NewEngine(), 0)
+}

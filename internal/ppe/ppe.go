@@ -25,6 +25,7 @@ package ppe
 import (
 	"fmt"
 
+	"cellbe/internal/perfctr"
 	"cellbe/internal/sim"
 	"cellbe/internal/trace"
 )
@@ -148,6 +149,7 @@ type PPE struct {
 	storePort *sim.TokenBucket
 
 	tracer        *trace.Tracer
+	perf          *perfctr.PPECounters
 	activeThreads int
 	stats         Stats
 }
@@ -155,6 +157,10 @@ type PPE struct {
 // SetTracer attaches an event tracer (nil disables tracing, the default).
 // Wired by the cell package at system assembly, like SetFaults elsewhere.
 func (p *PPE) SetTracer(tr *trace.Tracer) { p.tracer = tr }
+
+// SetPerf attaches a perf-counter block (nil disables counting, the
+// default). Wired by the cell package at system assembly, like SetTracer.
+func (p *PPE) SetPerf(pc *perfctr.PPECounters) { p.perf = pc }
 
 // InflightFills returns the current L2 miss-queue occupancy (demand misses
 // plus prefetches with a fill outstanding).
@@ -207,6 +213,7 @@ func (p *PPE) fetch(lineAddr int64, dirty bool) *sim.Signal {
 	sig := sim.NewSignal(p.eng)
 	p.inflight[lineAddr] = sig
 	p.stats.L2Misses++
+	p.perf.Fill()
 	p.tracer.Counter(trace.TrackPPEMissQ, p.eng.Now(), int64(len(p.inflight)))
 	issuedAt := p.eng.Now()
 	rfo := int64(0)
@@ -284,6 +291,7 @@ func (t *Thread) demandLoad(lineAddr int64) {
 		// land in L2; otherwise the prefetcher sawtooths between bursts.
 		t.prefetchAfter(lineAddr)
 	default:
+		p.perf.MissQStall()
 		if sig, ok := p.inflight[lineAddr]; ok {
 			t.WaitSignal(sig)
 			t.Wait(p.cfg.L2HitLatency + p.cfg.L2RefillExtra)
@@ -321,6 +329,7 @@ func (t *Thread) prefetchAfter(lineAddr int64) {
 			continue
 		}
 		p.stats.Prefetches++
+		p.perf.PrefetchFill()
 		p.fetch(next, false)
 	}
 	t.streamNext = next

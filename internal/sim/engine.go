@@ -377,6 +377,26 @@ func (e *Engine) AtDaemon(t Time, fn func()) {
 	e.insert(event{at: t, seq: e.seq, fn: fn, daemon: true})
 }
 
+// EveryDaemon arranges for fn to run every interval cycles as a daemon
+// event, starting one interval from now. Each firing reschedules the next
+// only while non-daemon work remains (PendingWork > 0), so a periodic
+// observer never keeps a finished simulation alive or extends its final
+// cycle count: the tail interval simply goes unsampled. Panics on a
+// non-positive interval.
+func (e *Engine) EveryDaemon(interval Time, fn func()) {
+	if interval <= 0 {
+		panic(fmt.Sprintf("sim: daemon interval %d must be positive", interval))
+	}
+	var tick func()
+	tick = func() {
+		fn()
+		if e.PendingWork() > 0 {
+			e.AtDaemon(e.now+interval, tick)
+		}
+	}
+	e.AtDaemon(e.now+interval, tick)
+}
+
 // scheduleProc arranges for p to be activated after d cycles. It is the
 // pre-bound form of Schedule(d, p.activate): the process pointer rides in
 // the event record, so blocking a process never allocates a method-value

@@ -90,10 +90,10 @@ func (s *Sampler) Start() {
 		s.ts.Columns = append(s.ts.Columns, s.metrics[i].name)
 		s.metrics[i].prev = s.metrics[i].fn()
 	}
-	s.eng.AtDaemon(s.eng.Now()+s.interval, s.tick)
+	s.eng.EveryDaemon(s.interval, s.tick)
 }
 
-// tick records one row and reschedules while real work remains.
+// tick records one row; EveryDaemon reschedules while real work remains.
 func (s *Sampler) tick() {
 	row := make([]float64, 0, len(s.metrics)+1)
 	row = append(row, float64(s.eng.Now()))
@@ -108,9 +108,6 @@ func (s *Sampler) tick() {
 		}
 	}
 	s.ts.Rows = append(s.ts.Rows, row)
-	if s.eng.PendingWork() > 0 {
-		s.eng.AtDaemon(s.eng.Now()+s.interval, s.tick)
-	}
 }
 
 // Timeseries returns the rows collected so far.

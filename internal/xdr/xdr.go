@@ -18,6 +18,7 @@ import (
 
 	"cellbe/internal/eib"
 	"cellbe/internal/fault"
+	"cellbe/internal/perfctr"
 	"cellbe/internal/sim"
 	"cellbe/internal/trace"
 )
@@ -117,6 +118,7 @@ type bank struct {
 	nextRefresh sim.Time
 	nextNoise   sim.Time
 	noisy       bool
+	perf        *perfctr.BankCounters
 	stats       BankStats
 }
 
@@ -158,6 +160,18 @@ func (m *Memory) SetTracer(tr *trace.Tracer) {
 	}
 }
 
+// SetPerf attaches per-bank perf counters (nil disables counting, the
+// default). Wired by the cell package at system assembly, like SetFaults.
+func (m *Memory) SetPerf(pc *perfctr.Counters) {
+	for i, b := range m.banks {
+		if pc == nil {
+			b.perf = nil
+		} else {
+			b.perf = &pc.XDR[i]
+		}
+	}
+}
+
 // New builds the memory system on the given bus.
 func New(eng *sim.Engine, bus *eib.EIB, cfg Config) *Memory {
 	m := &Memory{eng: eng, bus: bus, cfg: cfg, ram: NewRAM(cfg.TotalBytes, cfg.PageBytes)}
@@ -186,6 +200,7 @@ func (b *bank) applyRefresh(now sim.Time) {
 	}
 	if now >= b.nextRefresh {
 		b.stats.Refreshes++
+		b.perf.Refresh()
 		b.srv.Reserve(now, b.cfg.RefreshCycles)
 		b.nextRefresh = now + b.cfg.RefreshPeriod
 	}
@@ -305,6 +320,7 @@ func (b *bank) occupy(kind opKind, eng *sim.Engine, turn sim.Time, n int, done f
 func (m *Memory) Read(requestor eib.RampID, addr int64, n int, earliest sim.Time, dst []byte, done func(end sim.Time)) {
 	m.checkSpan(addr, n)
 	bk := m.banks[m.Bank(addr)]
+	bk.perf.Access(addr, n, false)
 	ramp := m.Ramp(addr)
 	lat := m.cfg.LocalReadLatency
 	if m.Bank(addr) == 1 {
@@ -331,6 +347,7 @@ func (m *Memory) Read(requestor eib.RampID, addr int64, n int, earliest sim.Time
 func (m *Memory) Write(requestor eib.RampID, addr int64, n int, earliest sim.Time, src []byte, done func(end sim.Time)) {
 	m.checkSpan(addr, n)
 	bk := m.banks[m.Bank(addr)]
+	bk.perf.Access(addr, n, true)
 	ramp := m.Ramp(addr)
 	lat := m.cfg.LocalWriteLatency
 	if m.Bank(addr) == 1 {

@@ -1,0 +1,167 @@
+package cellbe
+
+// The perf-counter subsystem (internal/perfctr) is validated two ways.
+// The differential test checks the counters against the EIB/XDR
+// statistics the timing model already keeps: both are incremented at the
+// same decision points, so any disagreement means a hook is missing or
+// double-counted. The cross-validation test is the acceptance criterion
+// from the paper-reproduction side: bandwidth *derived from counters*
+// (bytes x clock / window) must agree with the bandwidth the application
+// itself measures, within report.PerfTolerance, on all four canonical
+// scenarios. Finally, the window-mismatch regression test reproduces the
+// classic counter pitfall — deriving over a window that is not the
+// application's measurement window — and asserts the cross-check
+// catches it.
+
+import (
+	"testing"
+
+	"cellbe/internal/cell"
+	"cellbe/internal/perfctr"
+	"cellbe/internal/report"
+)
+
+// canonicalScenarios are the four golden cases of determinism_test.go.
+func canonicalScenarios() []struct {
+	name string
+	sc   cell.Scenario
+} {
+	const volume = 1 << 20
+	return []struct {
+		name string
+		sc   cell.Scenario
+	}{
+		{"pair", cell.Scenario{Kind: "pair", SPEs: 2, Chunk: 4096, Volume: volume}},
+		{"couples", cell.Scenario{Kind: "couples", SPEs: 8, Chunk: 4096, Volume: volume}},
+		{"cycle", cell.Scenario{Kind: "cycle", SPEs: 8, Chunk: 4096, Volume: volume}},
+		{"mem", cell.Scenario{Kind: "mem", SPEs: 4, Chunk: 16384, Volume: volume, Op: "get"}},
+	}
+}
+
+// runCounted runs sc at a fixed layout seed with a counter block
+// attached, returning the finished system, its counters and the payload
+// byte total the scenario accounts for.
+func runCounted(t *testing.T, sc cell.Scenario, seed int64) (*cell.System, *perfctr.Counters, int64) {
+	t.Helper()
+	cfg := cell.DefaultConfig()
+	cfg.Layout = cell.RandomLayout(seed)
+	sys := cell.New(cfg)
+	pc := &perfctr.Counters{}
+	sys.SetPerf(pc)
+	total, err := sc.Install(sys)
+	if err != nil {
+		t.Fatalf("install %s: %v", sc.Kind, err)
+	}
+	sys.Run()
+	return sys, pc, total
+}
+
+// TestPerfCounterDifferential cross-checks every counter that has a
+// twin in the timing model's own statistics. The two bookkeeping paths
+// share increment sites but not code, so equality here proves the
+// counter hooks sit at exactly the decision points they claim to.
+func TestPerfCounterDifferential(t *testing.T) {
+	for _, tc := range canonicalScenarios() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			sys, pc, _ := runCounted(t, tc.sc, 3)
+			st := sys.Bus.Stats()
+
+			ringGrants := pc.EIB.GrantTotal()
+			if got, want := int64(ringGrants+pc.EIB.LocalGrants), st.Transfers; got != want {
+				t.Errorf("grants(ring %d + local %d) = %d, stats transfers %d", ringGrants, pc.EIB.LocalGrants, got, want)
+			}
+			if got, want := int64(pc.EIB.LocalGrants), st.LocalTransfers; got != want {
+				t.Errorf("local grants %d, stats local transfers %d", got, want)
+			}
+			if got, want := int64(pc.EIB.Bytes), st.Bytes; got != want {
+				t.Errorf("counter bytes %d, stats bytes %d", got, want)
+			}
+			if got, want := int64(pc.EIB.Commands), st.Commands; got != want {
+				t.Errorf("counter commands %d, stats commands %d", got, want)
+			}
+			if got, want := int64(pc.EIB.WaitCycles), int64(st.WaitCycles); got != want {
+				t.Errorf("counter wait cycles %d, stats wait cycles %d", got, want)
+			}
+			for r := range pc.EIB.RingBusy {
+				if got, want := int64(pc.EIB.RingBusy[r]), int64(st.BusyCycles[r]); got != want {
+					t.Errorf("ring %d busy: counter %d, stats %d", r, got, want)
+				}
+			}
+			for b := 0; b < perfctr.NumBanks; b++ {
+				bs := sys.Mem.BankStats(b)
+				if got, want := int64(pc.XDR[b].ReadBytes), bs.ReadBytes; got != want {
+					t.Errorf("bank %d read bytes: counter %d, stats %d", b, got, want)
+				}
+				if got, want := int64(pc.XDR[b].WriteBytes), bs.WriteBytes; got != want {
+					t.Errorf("bank %d write bytes: counter %d, stats %d", b, got, want)
+				}
+				if got, want := int64(pc.XDR[b].RefreshStalls), bs.Refreshes; got != want {
+					t.Errorf("bank %d refreshes: counter %d, stats %d", b, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestPerfCrossValidation is the subsystem's acceptance criterion:
+// counter-derived EIB (and, where main memory is involved, XDR)
+// bandwidth must agree with the application-measured figure within the
+// documented tolerance on every canonical scenario.
+func TestPerfCrossValidation(t *testing.T) {
+	for _, tc := range canonicalScenarios() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			sys, pc, total := runCounted(t, tc.sc, 3)
+			cycles := sys.Eng.Now()
+			rep := report.BuildPerf(report.PerfInput{
+				Rollup:    pc.Rollup(),
+				ClockGHz:  cell.DefaultConfig().ClockGHz,
+				AppGBps:   sys.GBps(total, cycles),
+				AppCycles: cycles,
+			})
+			wantChecks := 1 // eib only: no main-memory traffic in SPE-to-SPE scenarios
+			if tc.sc.Kind == "mem" {
+				wantChecks = 2 // eib + xdr
+			}
+			if len(rep.Checks) != wantChecks {
+				t.Fatalf("got %d cross-checks, want %d", len(rep.Checks), wantChecks)
+			}
+			for _, c := range rep.Checks {
+				if !c.OK {
+					t.Errorf("%s: counters %.3f GB/s vs app %.3f GB/s, delta %.2f%% exceeds %.0f%% tolerance",
+						c.Name, c.CounterGBps, c.AppGBps, c.Delta*100, rep.Tolerance*100)
+				}
+			}
+		})
+	}
+}
+
+// TestPerfWindowMismatchRegression reproduces the counter pitfall the
+// cross-check exists to police: deriving bandwidth over a window ~9%
+// longer than the application's measurement window (on hardware: the
+// counter collection interval vs the benchmark's timed region) deflates
+// the counter figure silently. The validator must flag it, not average
+// it away.
+func TestPerfWindowMismatchRegression(t *testing.T) {
+	sc := canonicalScenarios()[0].sc // pair
+	sys, pc, total := runCounted(t, sc, 3)
+	cycles := sys.Eng.Now()
+	rep := report.BuildPerf(report.PerfInput{
+		Rollup:       pc.Rollup(),
+		ClockGHz:     cell.DefaultConfig().ClockGHz,
+		AppGBps:      sys.GBps(total, cycles),
+		AppCycles:    cycles,
+		WindowCycles: cycles * 109 / 100, // the skewed window
+	})
+	if rep.OK() {
+		t.Fatalf("cross-check passed with a 9%% window mismatch; it must fail (checks: %+v)", rep.Checks)
+	}
+	for _, c := range rep.Checks {
+		if c.Name == "eib" && c.Delta < 0.05 {
+			t.Errorf("eib delta %.2f%% too small for a 9%% window skew", c.Delta*100)
+		}
+	}
+}
