@@ -15,6 +15,7 @@ import (
 
 	"cellbe/internal/cell"
 	"cellbe/internal/core"
+	"cellbe/internal/perfctr"
 	"cellbe/internal/ppe"
 	"cellbe/internal/sim"
 	"cellbe/internal/spe"
@@ -302,6 +303,66 @@ func BenchmarkSweep(b *testing.B) {
 		"points":  points,
 		"ns/op":   elapsed * 1e9 / float64(b.N),
 		"point/s": points * float64(b.N) / elapsed,
+	})
+}
+
+// BenchmarkSweepWarm measures the same grid as BenchmarkSweep through the
+// warm-clone path in steady state: one snapshot held across all
+// iterations, every grid point stamped onto a recycled arena carcass
+// (CloneFor + RunChecked + Retire). The delta against BenchmarkSweep is
+// the boot-and-teardown overhead the arena removes; allocs/point is the
+// alloc-guarded figure of merit for the stamped path.
+func BenchmarkSweepWarm(b *testing.B) {
+	chunks := []int{1024, 4096}
+	seeds := []int64{1, 2, 3}
+	tpl := cell.New(cell.DefaultConfig())
+	sc := cell.Scenario{Kind: "cycle", SPEs: 8, Chunk: chunks[0], Volume: 128 << 10}
+	if _, err := sc.Install(tpl); err != nil {
+		b.Fatal(err)
+	}
+	snap, err := tpl.Snapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap.Retire(tpl)
+	runGrid := func() float64 {
+		n := 0.0
+		for _, c := range chunks {
+			for _, sd := range seeds {
+				cfg := snap.Config()
+				cfg.Layout = cell.RandomLayout(sd)
+				sys, _, err := snap.CloneFor(cfg, c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sys.SetPerf(&perfctr.Counters{})
+				if err := sys.RunChecked(0); err != nil {
+					b.Fatal(err)
+				}
+				snap.Retire(sys)
+				n++
+			}
+		}
+		return n
+	}
+	points := runGrid() // prime the arena: steady state, not first-boot cost
+	b.ReportAllocs()
+	b.ResetTimer()
+	var total float64
+	for i := 0; i < b.N; i++ {
+		total += runGrid()
+	}
+	b.StopTimer()
+	elapsed := b.Elapsed().Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(total/elapsed, "points/s")
+	}
+	perPoint := testing.AllocsPerRun(1, func() { runGrid() }) / points
+	b.ReportMetric(perPoint, "allocs/point")
+	recordBenchBaseline(b, "SweepWarm", map[string]float64{
+		"points":       points,
+		"point/s":      total / elapsed,
+		"allocs/point": perPoint,
 	})
 }
 

@@ -122,6 +122,15 @@ type System struct {
 	tracer    *trace.Tracer
 	perf      *perfctr.Counters
 	pktFree   *pktDone // free list of packet completion records (engine is single-threaded)
+	streams   []*dmaStream
+	ff        *ffController // nil unless EnableFastForward was called
+
+	// fabs holds each logical SPE's routing fabric so a recycled system
+	// can rebind ramps for a new layout without rebuilding the SPEs.
+	fabs [NumSPEs]*fabric
+	// scen records the installed scenario (zero Kind = none yet); the
+	// snapshot layer replays it into clones.
+	scen Scenario
 }
 
 // Validate reports why the configuration cannot build a System, nil when
@@ -152,6 +161,19 @@ func (c Config) Validate() error {
 
 // New builds a system from cfg.
 func New(cfg Config) *System {
+	s := &System{}
+	s.init(cfg)
+	return s
+}
+
+// init wires s for cfg. On a zero System it performs the cold boot New
+// always did; on a recycled carcass (the Snapshot arena path) it resets
+// and rebinds the components already present, keeping every allocation
+// they grew — the engine's timing wheel, the EIB's interval timelines,
+// the MFC queues and the local stores (re-zeroed over their dirty spans
+// only). Either way the result must be observationally identical to a
+// cold boot: the differential clone-vs-cold tests pin this.
+func (s *System) init(cfg Config) {
 	if err := cfg.Validate(); err != nil {
 		panic(err.Error())
 	}
@@ -160,28 +182,62 @@ func New(cfg Config) *System {
 		layout = RandomLayout(0)
 	}
 
-	eng := sim.NewEngine()
-	bus := eib.New(eng, cfg.EIB)
+	if s.Eng == nil {
+		s.Eng = sim.NewEngine()
+	} else {
+		s.Eng.Reset()
+	}
+	eng := s.Eng
+	freshBus := s.Bus == nil || !s.Bus.Reset(cfg.EIB)
+	if freshBus {
+		s.Bus = eib.New(eng, cfg.EIB)
+	}
 	memCfg := cfg.Mem
 	memCfg.NoisePeriod = cfg.NoiseEvery
 	memCfg.NoiseCycles = cfg.NoiseCycles
-	mem := xdr.New(eng, bus, memCfg)
-	s := &System{Eng: eng, Bus: bus, Mem: mem, cfg: cfg, resv: newReservations()}
+	if s.Mem == nil || freshBus {
+		// The memory system routes through the bus instance, so a rebuilt
+		// bus forces a rebuilt memory front end too.
+		s.Mem = xdr.New(eng, s.Bus, memCfg)
+	} else {
+		s.Mem.Reset(memCfg)
+	}
+	s.cfg = cfg
 	s.cfg.Layout = layout
+	s.allocNext = 0
+	s.resv = newReservations()
+	s.rem = nil
 	s.faults = fault.New(cfg.Faults, cfg.FaultSeed)
-	bus.SetFaults(s.faults)
-	mem.SetFaults(s.faults)
+	s.Bus.SetFaults(s.faults)
+	s.Mem.SetFaults(s.faults)
+	s.tracer, s.perf = nil, nil
+	clear(s.streams)
+	s.streams = s.streams[:0]
+	s.ff = nil
+	s.scen = Scenario{}
 
 	for logical := 0; logical < NumSPEs; logical++ {
 		ramp := eib.PhysicalSPERamp(layout[logical])
+		if logical < len(s.SPEs) {
+			fab := s.fabs[logical]
+			fab.ramp = ramp
+			sp := s.SPEs[logical]
+			sp.Reset(ramp, fab, cfg.SPU, cfg.MFC)
+			sp.MFC().SetFaults(s.faults)
+			continue
+		}
 		fab := &fabric{sys: s, ramp: ramp}
+		s.fabs[logical] = fab
 		sp := spe.New(eng, logical, ramp, fab, cfg.SPU, cfg.MFC)
 		sp.MFC().SetFaults(s.faults)
 		s.SPEs = append(s.SPEs, sp)
 	}
-	s.PPE = ppe.New(eng, &ppePort{sys: s}, cfg.PPE)
+	if s.PPE == nil {
+		s.PPE = ppe.New(eng, &ppePort{sys: s}, cfg.PPE)
+	} else {
+		s.PPE.Reset(&ppePort{sys: s}, cfg.PPE)
+	}
 	eng.OnDiagnostic(s.diagnose)
-	return s
 }
 
 // Faults returns the system's fault injector (nil when injection is
@@ -355,6 +411,12 @@ func (s *System) RunChecked(maxCycles sim.Time) (err error) {
 	if maxCycles == 0 {
 		maxCycles = s.cfg.MaxCycles
 	}
+	if s.ff != nil {
+		// A steady-state jump must never overshoot the watchdog budget: a
+		// cycle-exact run would have stopped at the boundary, and the
+		// fast-forwarded run must fail (or pass) identically.
+		s.ff.budget = maxCycles
+	}
 	if err := s.Eng.RunChecked(maxCycles); err != nil {
 		return err
 	}
@@ -487,7 +549,7 @@ type pktDone struct {
 	off    int    // target LS offset
 	n      int
 	write  bool
-	done   func(end sim.Time)
+	done   sim.Callee
 	next   *pktDone // free-list link
 }
 
@@ -515,18 +577,18 @@ func (p *pktDone) Call(end sim.Time) {
 				p.target.WriteSignal(reg, v)
 			}
 		} else if p.buf != nil {
-			copy(p.target.LS()[p.off:p.off+p.n], p.buf[:p.n])
+			copy(p.target.LSWrite(p.off, p.n), p.buf[:p.n])
 		}
 	} else if p.buf != nil {
-		copy(p.buf, p.target.LS()[p.off:p.off+p.n])
+		copy(p.buf, p.target.LSRead(p.off, p.n))
 	}
 	sys, done := p.sys, p.done
 	*p = pktDone{sys: sys, next: sys.pktFree}
 	sys.pktFree = p
-	done(end)
+	done.Call(end)
 }
 
-func (f *fabric) ReadEA(ea int64, n int, earliest sim.Time, dst []byte, done func(end sim.Time)) {
+func (f *fabric) ReadEA(ea int64, n int, earliest sim.Time, dst []byte, done sim.Callee) {
 	sys := f.sys
 	if remote, off, ok := sys.resolveRemoteLS(ea); ok {
 		f.readRemote(remote, off, n, earliest, dst, done)
@@ -540,10 +602,10 @@ func (f *fabric) ReadEA(ea int64, n int, earliest sim.Time, dst []byte, done fun
 		sys.Bus.TransferCB(target.Ramp(), f.ramp, n, ready, p)
 		return
 	}
-	sys.Mem.Read(f.ramp, ea, n, earliest, dst, done)
+	sys.Mem.Read(f.ramp, ea, n, earliest, dst, done.Call)
 }
 
-func (f *fabric) WriteEA(ea int64, n int, earliest sim.Time, src []byte, done func(end sim.Time)) {
+func (f *fabric) WriteEA(ea int64, n int, earliest sim.Time, src []byte, done sim.Callee) {
 	sys := f.sys
 	if remote, off, ok := sys.resolveRemoteLS(ea); ok {
 		f.writeRemote(remote, off, n, earliest, src, done)
@@ -560,7 +622,7 @@ func (f *fabric) WriteEA(ea int64, n int, earliest sim.Time, src []byte, done fu
 	// Any store to a line kills reservations on it (coherence point).
 	sys.Mem.Write(f.ramp, ea, n, earliest, src, func(end sim.Time) {
 		sys.resv.kill(lineOf(ea))
-		done(end)
+		done.Call(end)
 	})
 }
 

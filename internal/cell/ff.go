@@ -1,0 +1,428 @@
+package cell
+
+import (
+	"encoding/binary"
+
+	"cellbe/internal/eib"
+	"cellbe/internal/mfc"
+	"cellbe/internal/perfctr"
+	"cellbe/internal/sim"
+	"cellbe/internal/spe"
+)
+
+// Steady-state fast-forward: detect that the simulation has entered a
+// periodic steady state and advance it K whole periods analytically
+// instead of firing every event, without changing a single observable
+// result. See DESIGN.md ("Warm-state cloning and steady-state
+// fast-forward") for the full exactness argument; the short form:
+//
+// The simulation is deterministic and time-invariant: its future depends
+// only on the current canonical state — the pending-event multiset
+// (relative times + target identities), the MFC/EIB/stream machine state
+// (relative times), and nothing else. If the canonical state at anchor
+// time T2 equals the state at an earlier anchor T1 modulo a uniform time
+// shift delta = T2-T1 (and renaming of linear counters, which nothing
+// feeds back from), then evolution from T2 replays evolution from T1
+// shifted by delta — so the state at T2+delta is again equivalent, and by
+// induction the period repeats forever. One digest match therefore
+// licenses jumping K periods at once: shift every absolute time by
+// K*delta, add K times the observed per-period delta to every linear
+// counter, and advance each stream's iteration count by K times its
+// per-period progress. K is capped so no stream's loop bound (and no
+// watchdog budget) falls inside the skipped span — the replayed windows
+// must take every loop branch the observed window took.
+//
+// Anchors are placed by stream 0 at iteration-window boundaries
+// (i % slots == 0), and the digest includes every stream's (i mod slots,
+// body position, park site), so a match forces each stream's per-period
+// progress to be a whole number of slot windows — the LS offsets and
+// effective addresses of the skipped commands repeat exactly.
+//
+// Local-store *data* is exempt from the exactness contract: the canonical
+// kernels move zero-filled buffers, and payload bytes influence nothing
+// in the timing model. Everything that can influence behaviour — SNR
+// writes, atomics, faults, tracing — vetoes the jump instead.
+
+// ffMaxAnchors bounds the anchor table; past it the controller stops
+// recording new candidates (existing ones can still match).
+const ffMaxAnchors = 512
+
+// ffGiveUpAfter disables the controller for the rest of the run when this
+// many anchors were captured without a single committed jump: a workload
+// that is not settling into a detectable period should not keep paying
+// the digest cost.
+const ffGiveUpAfter = 64
+
+// ffAnchor is one recorded steady-state candidate: the canonical digest
+// plus the absolute linear-counter snapshot the commit deltas are
+// computed against.
+type ffAnchor struct {
+	key     []byte
+	now     sim.Time
+	seq     int64 // engine events scheduled
+	nfired  int64 // engine events fired
+	eib     eib.Stats
+	mfc     [NumSPEs]mfc.FFLinear
+	perf    *perfctr.Counters // deep snapshot; nil when counting is off
+	streamI []int64
+}
+
+// ffController is the steady-state fast-forward controller, armed by
+// EnableFastForward and driven from stream 0's anchor hook.
+type ffController struct {
+	sys      *System
+	notes    map[string]int64 // park-site note interning
+	anchors  map[uint64][]*ffAnchor
+	captured int
+	disabled bool
+	budget   sim.Time // watchdog cycle budget jumps must not overshoot (0 = none)
+	buf      []byte   // reusable digest buffer
+
+	jumps   int
+	skipped sim.Time
+}
+
+// EnableFastForward arms steady-state fast-forward on the system. It is
+// opt-in per System (the sweep runner enables it; determinism goldens and
+// ad-hoc drivers run cycle-exact by default) and refuses quietly when the
+// configuration makes periodicity unprovable: fault injection perturbs
+// timing aperiodically, and an EIB transfer trace records per-transfer
+// history a jump cannot reproduce. Call after the scenario is installed —
+// the controller needs the stream census.
+func (s *System) EnableFastForward() {
+	if s.cfg.Faults.Enabled() || s.cfg.EIB.TraceCapacity > 0 || len(s.streams) == 0 {
+		return
+	}
+	s.ff = &ffController{
+		sys:     s,
+		notes:   make(map[string]int64, 8),
+		anchors: make(map[uint64][]*ffAnchor),
+	}
+}
+
+// FastForwardStats reports how many steady-state jumps committed and how
+// many simulated cycles they skipped (both zero when fast-forward is off
+// or never engaged).
+func (s *System) FastForwardStats() (jumps int, skipped sim.Time) {
+	if s.ff == nil {
+		return 0, 0
+	}
+	return s.ff.jumps, s.ff.skipped
+}
+
+// ffAnchor is called by stream ordinal 0 at each iteration-window
+// boundary; with fast-forward disabled (the default) it does nothing.
+func (s *System) ffAnchor() {
+	if s.ff == nil || s.ff.disabled {
+		return
+	}
+	s.ff.anchor()
+}
+
+// anchor captures the canonical state digest and either commits a jump
+// against a matching earlier anchor or records this one as a candidate.
+func (c *ffController) anchor() {
+	sys := c.sys
+	eng := sys.Eng
+
+	// Dynamic vetoes: any observer or machine state the digest cannot
+	// prove periodic forces cycle-exact execution. Tracing records
+	// per-event history; daemon events (metrics/perf-window samplers)
+	// observe absolute time on their own schedule; atomics, PPE fills and
+	// XDR traffic involve components the digest does not cover.
+	if sys.tracer != nil ||
+		eng.Pending() != eng.PendingWork() || // daemon events pending
+		len(sys.resv.byLine) != 0 ||
+		sys.PPE.InflightFills() != 0 ||
+		sys.Mem.BankStats(0).Requests != 0 ||
+		sys.Mem.BankStats(1).Requests != 0 {
+		return
+	}
+	// Census: stream kernels are state machines, so no spawned process may
+	// be live at all — any coroutine carries parked state the digest does
+	// not see.
+	if !eng.VisitLiveProcesses(func(*sim.Process) bool { return false }) {
+		return
+	}
+
+	now := eng.Now()
+	buf, ok := c.encode(c.buf[:0], now)
+	c.buf = buf
+	if !ok {
+		return
+	}
+
+	h := fnv64(buf)
+	for _, a := range c.anchors[h] {
+		if !bytesEqual(a.key, buf) {
+			continue
+		}
+		if c.tryCommit(a, now) {
+			return
+		}
+	}
+	if c.captured >= ffMaxAnchors {
+		return
+	}
+	c.captured++
+	if c.captured >= ffGiveUpAfter && c.jumps == 0 {
+		c.disabled = true
+		return
+	}
+	a := &ffAnchor{
+		key:     append([]byte(nil), buf...),
+		now:     now,
+		seq:     eng.Scheduled(),
+		nfired:  eng.Fired(),
+		eib:     sys.Bus.Stats(),
+		streamI: make([]int64, len(sys.streams)),
+	}
+	for i, sp := range sys.SPEs {
+		a.mfc[i] = sp.MFC().FFLinear()
+	}
+	if sys.perf != nil {
+		cp := *sys.perf
+		a.perf = &cp
+	}
+	for i, d := range sys.streams {
+		a.streamI[i] = d.i
+	}
+	c.anchors[h] = append(c.anchors[h], a)
+}
+
+// encode appends the canonical relative state digest to buf: the pending
+// event queue in firing order (relative times, classified identities),
+// each MFC, the EIB timetable, and each stream's position. ok=false means
+// some state was not provably encodable and no anchor exists here.
+func (c *ffController) encode(buf []byte, now sim.Time) ([]byte, bool) {
+	sys := c.sys
+	for _, sp := range sys.SPEs {
+		sp.MFC().FFBegin()
+	}
+	ok := sys.Eng.VisitPending(func(ev sim.PendingEvent) bool {
+		if ev.Opaque || ev.Daemon {
+			return false
+		}
+		buf = binary.AppendVarint(buf, int64(ev.At-now))
+		if ev.Proc != nil {
+			// Process activations belong to coroutine kernels the census
+			// already rejects; unreachable, but never classifiable here.
+			return false
+		}
+		buf = binary.AppendVarint(buf, int64(ev.Targ-now))
+		switch t := ev.Cb.(type) {
+		case *dmaStreamCont:
+			buf = append(buf, 1)
+			buf = binary.AppendVarint(buf, int64(t.d.ord))
+		case *dmaStreamWake:
+			buf = append(buf, 2)
+			buf = binary.AppendVarint(buf, int64(t.d.ord))
+		case *pktDone:
+			// A packet landing on a signal-notification register changes
+			// SPE-visible data; only plain LS payload traffic is exempt
+			// from the exactness contract. For plain payload the offset
+			// within the target LS is behaviourally irrelevant (it only
+			// addresses exempt bytes), so it is not encoded.
+			if t.off >= spe.SNROffset {
+				return false
+			}
+			mi, label, delayed, known := c.noteMFC(t.done)
+			if !known {
+				return false
+			}
+			buf = append(buf, 3)
+			buf = binary.AppendVarint(buf, int64(c.logicalOf(t.target)))
+			buf = binary.AppendVarint(buf, int64(t.n))
+			buf = append(buf, boolByte(t.write))
+			buf = binary.AppendVarint(buf, int64(mi))
+			buf = binary.AppendVarint(buf, int64(label))
+			buf = append(buf, boolByte(delayed))
+		default:
+			mi, label, delayed, known := c.noteMFC(ev.Cb)
+			if !known {
+				return false
+			}
+			buf = append(buf, 4)
+			buf = binary.AppendVarint(buf, int64(mi))
+			buf = binary.AppendVarint(buf, int64(label))
+			buf = append(buf, boolByte(delayed))
+		}
+		return true
+	})
+	if !ok {
+		return buf, false
+	}
+	for _, sp := range sys.SPEs {
+		buf, ok = sp.MFC().FFEncode(buf, now, c.wakeOrd, c.routeOf)
+		if !ok {
+			return buf, false
+		}
+	}
+	buf = sys.Bus.FFEncode(buf, now)
+	for _, d := range sys.streams {
+		buf = binary.AppendVarint(buf, d.i%int64(d.slots))
+		buf = binary.AppendVarint(buf, int64(d.op))
+		buf = binary.AppendVarint(buf, int64(d.pc))
+		buf = binary.AppendVarint(buf, c.noteID(d.note))
+	}
+	return buf, true
+}
+
+// tryCommit computes the jump against matched anchor a and applies it.
+// It reports whether a jump committed.
+func (c *ffController) tryCommit(a *ffAnchor, now sim.Time) bool {
+	sys := c.sys
+	delta := now - a.now
+	if delta <= 0 {
+		return false
+	}
+	// K = min over progressing streams of the whole periods left before
+	// their loop bound: every loop-condition check inside the skipped
+	// span must take the branch the observed period took.
+	k := int64(1<<62 - 1)
+	progressed := false
+	for i, d := range sys.streams {
+		di := d.i - a.streamI[i]
+		if di == 0 {
+			continue
+		}
+		progressed = true
+		if rem := (d.iters - d.i) / di; rem < k {
+			k = rem
+		}
+	}
+	if !progressed {
+		return false
+	}
+	if c.budget > 0 {
+		if cap := int64((c.budget - now) / delta); cap < k {
+			k = cap
+		}
+	}
+	if k < 1 {
+		return false
+	}
+
+	eng := sys.Eng
+	d := sim.Time(k) * delta
+	dSeq := k * (eng.Scheduled() - a.seq)
+	dFired := k * (eng.Fired() - a.nfired)
+	eng.FFJump(d)
+	eng.FFAddCounters(dSeq, dFired)
+	for i, sp := range sys.SPEs {
+		m := sp.MFC()
+		cur := m.FFLinear()
+		m.FFShift(d)
+		m.FFAddLinear(cur, a.mfc[i], k)
+	}
+	curEIB := sys.Bus.Stats()
+	sys.Bus.FFShift(d)
+	sys.Bus.FFAddStats(curEIB, a.eib, k)
+	if sys.perf != nil && a.perf != nil {
+		sys.perf.FFAddScaled(a.perf, uint64(k))
+	}
+	for i, st := range sys.streams {
+		st.i += k * (st.i - a.streamI[i])
+	}
+	c.jumps++
+	c.skipped += d
+	return true
+}
+
+// noteMFC resolves a completion Callee to (logical SPE, wavefront label,
+// delayed-retirement flag) by asking each MFC, labeling the bound command
+// in first-seen order (see mfc.FFNoteEvent).
+func (c *ffController) noteMFC(cb sim.Callee) (mfcIdx, label int, delayed, ok bool) {
+	if cb == nil {
+		return 0, 0, false, false
+	}
+	for i, sp := range c.sys.SPEs {
+		if lb, dl, found := sp.MFC().FFNoteEvent(cb); found {
+			return i, lb, dl, true
+		}
+	}
+	return 0, 0, false, false
+}
+
+// routeOf abstracts an effective-address span to a canonical route: the
+// logical index of the local SPE whose plain local-store region it
+// addresses. Timing depends only on the route (which ramp pair, hence
+// which ring path and arbitration flow) and the span's line alignment —
+// not on the absolute address — so streaming commands that differ only in
+// which window slot they target become digest-identical. Anything else is
+// unabstractable: XDR memory timing depends on bank/row address bits,
+// remote-chip spans cross the IOIF link model, and signal-notification
+// registers have data side effects.
+func (c *ffController) routeOf(ea int64, size int) (int64, bool) {
+	sys := c.sys
+	if ea >= sys.remoteLSBase() {
+		return 0, false
+	}
+	logical, off, ok := sys.resolveLS(ea)
+	if !ok {
+		return 0, false // main memory: address bits select banks and rows
+	}
+	if int64(off)+int64(size) > int64(spe.SNROffset) {
+		return 0, false
+	}
+	return int64(logical), true
+}
+
+// wakeOrd resolves a registered waiter Callee to its stream ordinal; only
+// wake records of registered streams qualify.
+func (c *ffController) wakeOrd(cb sim.Callee) (int64, bool) {
+	w, ok := cb.(*dmaStreamWake)
+	if !ok {
+		return 0, false
+	}
+	return int64(w.d.ord), true
+}
+
+// logicalOf maps an SPE back to its logical index.
+func (c *ffController) logicalOf(target *spe.SPE) int {
+	for i, sp := range c.sys.SPEs {
+		if sp == target {
+			return i
+		}
+	}
+	return -1
+}
+
+// noteID interns a park-site note. IDs are assigned in first-seen order,
+// which is deterministic within a run — all the digest needs.
+func (c *ffController) noteID(n string) int64 {
+	id, ok := c.notes[n]
+	if !ok {
+		id = int64(len(c.notes) + 1)
+		c.notes[n] = id
+	}
+	return id
+}
+
+func fnv64(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, x := range b {
+		h ^= uint64(x)
+		h *= 1099511628211
+	}
+	return h
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -92,7 +92,7 @@ func (s *System) resolveRemoteLS(ea int64) (remote, off int, ok bool) {
 
 // readRemote is the cross-chip GET data path: the remote chip streams the
 // line over the link, then it crosses the local EIB from the IOIF ramp.
-func (f *fabric) readRemote(remote, off int, n int, earliest sim.Time, dst []byte, done func(end sim.Time)) {
+func (f *fabric) readRemote(remote, off int, n int, earliest sim.Time, dst []byte, done sim.Callee) {
 	sys := f.sys
 	rc := sys.remote()
 	ready := sys.Bus.Command(earliest)
@@ -104,7 +104,7 @@ func (f *fabric) readRemote(remote, off int, n int, earliest sim.Time, dst []byt
 				if dst != nil {
 					copy(dst, rc.ls[remote][off:off+n])
 				}
-				done(end)
+				done.Call(end)
 			})
 		})
 	})
@@ -112,7 +112,7 @@ func (f *fabric) readRemote(remote, off int, n int, earliest sim.Time, dst []byt
 
 // writeRemote is the cross-chip PUT path: local EIB to the IOIF ramp,
 // then the link to the remote local store.
-func (f *fabric) writeRemote(remote, off int, n int, earliest sim.Time, src []byte, done func(end sim.Time)) {
+func (f *fabric) writeRemote(remote, off int, n int, earliest sim.Time, src []byte, done sim.Callee) {
 	sys := f.sys
 	rc := sys.remote()
 	ready := sys.Bus.Command(earliest)
@@ -124,7 +124,7 @@ func (f *fabric) writeRemote(remote, off int, n int, earliest sim.Time, src []by
 				if src != nil {
 					copy(rc.ls[remote][off:off+n], src[:n])
 				}
-				done(end)
+				done.Call(end)
 			})
 		})
 	})

@@ -198,21 +198,23 @@ func (sc Scenario) Install(sys *System) (int64, error) {
 		sys.SPEs[idx].Run(fmt.Sprintf("spe%d", idx), kernel)
 	}
 	pairKernel := func(idx, peer int) {
-		spawn(idx, 2*sc.Volume, func(ctx *spe.Context) {
-			peerEA := sys.LSEA(peer, 0)
-			if sc.List {
-				pairListLoop(ctx, sc, peerEA)
-				return
-			}
-			slots := pairSlots(sc.Chunk)
-			i := 0
-			for off := int64(0); off < sc.Volume; off += int64(sc.Chunk) {
-				slot := i % slots
-				ctx.Get(pairGetBase+slot*sc.Chunk, peerEA+int64(slot*sc.Chunk), sc.Chunk, 0)
-				ctx.Put(pairPutBase+slot*sc.Chunk, peerEA+int64(slot*sc.Chunk), sc.Chunk, 1)
-				i++
-			}
-			ctx.WaitTagMask(1<<0 | 1<<1)
+		if sc.List {
+			spawn(idx, 2*sc.Volume, func(ctx *spe.Context) {
+				pairListLoop(ctx, sc, sys.LSEA(peer, 0))
+			})
+			return
+		}
+		// The element variant runs as a registered stream: the same loop,
+		// reified so the fast-forward controller can inspect its progress
+		// (see dmaStream).
+		total += 2 * sc.Volume
+		sys.installStream(&dmaStream{
+			sys:    sys,
+			idx:    idx,
+			chunk:  sc.Chunk,
+			slots:  pairSlots(sc.Chunk),
+			iters:  (sc.Volume + int64(sc.Chunk) - 1) / int64(sc.Chunk),
+			peerEA: sys.LSEA(peer, 0),
 		})
 	}
 	switch sc.Kind {
@@ -262,5 +264,6 @@ func (sc Scenario) Install(sys *System) (int64, error) {
 			})
 		}
 	}
+	sys.scen = sc
 	return total, nil
 }

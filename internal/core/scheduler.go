@@ -104,6 +104,7 @@ type Scheduler struct {
 
 	sims    atomic.Int64 // points actually simulated (cache hits excluded)
 	pending atomic.Int64 // grid points admitted but not yet delivered or skipped
+	warm    atomic.Int64 // points stamped from a warm snapshot instead of cold-booted
 
 	perfMu sync.Mutex
 	perf   perfctr.Rollup // counter totals over every delivered point
@@ -439,10 +440,19 @@ func (s *Scheduler) attemptPoint(j *Job, pt gridPoint, attempt int) SweepResult 
 			return SweepResult{Chunk: pt.chunk, Seed: pt.seed, Err: err, Log: []string{err.Error()}}
 		}
 	}
-	res := runPoint(&j.spec, pt.chunk, pt.seed, attempt)
+	snap := j.snapshot()
+	if snap != nil {
+		s.warm.Add(1)
+	}
+	res := runPoint(&j.spec, snap, pt.chunk, pt.seed, attempt)
 	s.sims.Add(1)
 	return res
 }
+
+// WarmPoints reports how many grid points were stamped from a warm
+// snapshot (recycled arena carcass or shared warm ancestor) instead of
+// cold-booting a System — the /metrics observability for the clone path.
+func (s *Scheduler) WarmPoints() int64 { return s.warm.Load() }
 
 // release retires a finished job: frees its admission slot and prunes the
 // oldest finished jobs beyond KeepJobs.
@@ -510,6 +520,14 @@ type Job struct {
 	cancel  context.CancelFunc
 	results chan PointResult
 
+	// snap is the job's warm ancestor: one installed-but-never-run System
+	// captured as a cell.Snapshot, from which every grid point is forked
+	// (CloneFor) instead of cold-booted. Built lazily by the first worker
+	// to simulate a point; nil when the workload is not snapshot-capable
+	// (coroutine kernels, mem scenarios) or the job is instrumented.
+	snapOnce sync.Once
+	snap     *cell.Snapshot
+
 	mu        sync.Mutex
 	started   bool
 	delivered int
@@ -563,6 +581,41 @@ func (j *Job) Status() JobStatus {
 		st.State = JobRunning
 	}
 	return st
+}
+
+// snapshot returns the job's warm ancestor, building it on first use: a
+// template System is booted once, the scenario installed, and the
+// install-boundary state captured. Grid points then fork from it with
+// per-point configs (layout, fault seed) and chunk sizes. Jobs whose
+// scenario is not snapshot-capable — and instrumented jobs, whose hook
+// must see the System before the scenario installs — return nil and run
+// every point through the cold path.
+func (j *Job) snapshot() *cell.Snapshot {
+	j.snapOnce.Do(func() {
+		if j.spec.Instrument != nil || len(j.spec.Chunks) == 0 || len(j.spec.Seeds) == 0 {
+			return
+		}
+		// A hostile Base config makes cell.New panic; leave snap nil and
+		// let the cold path contain the same panic per-point, exactly as
+		// it did before the warm path existed.
+		defer func() { _ = recover() }()
+		sys := cell.New(pointConfig(&j.spec, j.spec.Seeds[0]))
+		if _, err := j.spec.scenario(j.spec.Chunks[0]).Install(sys); err != nil {
+			sys.Release()
+			return
+		}
+		snap, err := sys.Snapshot()
+		if err != nil {
+			// Not snapshot-capable (coroutine kernels): every point
+			// cold-boots, exactly as before the warm path existed.
+			sys.Release()
+			return
+		}
+		// The template itself becomes the arena's first carcass.
+		snap.Retire(sys)
+		j.snap = snap
+	})
+	return j.snap
 }
 
 func (j *Job) markStarted() {

@@ -195,11 +195,16 @@ func pointConfig(spec *SweepSpec, seed int64) cell.Config {
 
 // runPoint simulates one grid point; attempt is 0 for the first try and
 // counts up on retries, where it deterministically re-rolls the fault
-// stream (see retryFaultSeed). Any failure — an install error, a
-// watchdog deadlock, or a panic anywhere inside the simulation — is
-// contained to this point's Err so one bad point cannot kill the sweep
-// (or, worse, a worker goroutine and with it the whole process).
-func runPoint(spec *SweepSpec, chunk int, seed int64, attempt int) (res SweepResult) {
+// stream (see retryFaultSeed). When snap is non-nil the point is forked
+// from the job's warm ancestor — stamped onto a recycled arena carcass
+// with the point's own layout, fault seed and chunk — and the carcass is
+// retired back to the arena afterwards; results are bit-identical to the
+// cold path (pinned by the clone-vs-cold differential tests). Any
+// failure — an install error, a watchdog deadlock, or a panic anywhere
+// inside the simulation — is contained to this point's Err so one bad
+// point cannot kill the sweep (or, worse, a worker goroutine and with it
+// the whole process).
+func runPoint(spec *SweepSpec, snap *cell.Snapshot, chunk int, seed int64, attempt int) (res SweepResult) {
 	res = SweepResult{Chunk: chunk, Seed: seed}
 	defer func() {
 		if r := recover(); r != nil {
@@ -216,27 +221,46 @@ func runPoint(spec *SweepSpec, chunk int, seed int64, attempt int) (res SweepRes
 		cfg.FaultSeed = retryFaultSeed(cfg.FaultSeed, attempt)
 		res.FaultSeed = cfg.FaultSeed
 	}
-	sys := cell.New(cfg)
-	// Counters on by default for every point: the always-on observability
-	// tier. The Instrument hook runs after, so it may replace or extend
-	// the block — the harvest below reads whatever the system ended up
-	// with via sys.Perf().
-	sys.SetPerf(&perfctr.Counters{})
-	retained := false
-	if spec.Instrument != nil {
-		retained = spec.Instrument(chunk, seed, sys)
-	}
-	if !retained {
-		// The system dies with this point, so recycle its buffers. An
-		// Instrument hook opts out per point by returning true: it kept
-		// the system (tracers, samplers) past the point's lifetime.
-		defer sys.Release()
-	}
-	total, err := spec.scenario(chunk).Install(sys)
-	if err != nil {
-		res.Err = err
-		res.Log = append(res.Log, err.Error())
-		return res
+	var sys *cell.System
+	var total int64
+	if snap != nil {
+		var err error
+		sys, total, err = snap.CloneFor(cfg, chunk)
+		if err != nil {
+			res.Err = err
+			res.Log = append(res.Log, err.Error())
+			return res
+		}
+		// Teardown is a pointer-reset, not a garbage collection: the
+		// carcass goes back to the arena for the next point to stamp.
+		// init fully re-stamps it, so retiring after a deadlock or panic
+		// is safe. Counters on by default, as on the cold path.
+		defer snap.Retire(sys)
+		sys.SetPerf(&perfctr.Counters{})
+	} else {
+		sys = cell.New(cfg)
+		// Counters on by default for every point: the always-on
+		// observability tier. The Instrument hook runs after, so it may
+		// replace or extend the block — the harvest below reads whatever
+		// the system ended up with via sys.Perf().
+		sys.SetPerf(&perfctr.Counters{})
+		retained := false
+		if spec.Instrument != nil {
+			retained = spec.Instrument(chunk, seed, sys)
+		}
+		if !retained {
+			// The system dies with this point, so recycle its buffers. An
+			// Instrument hook opts out per point by returning true: it kept
+			// the system (tracers, samplers) past the point's lifetime.
+			defer sys.Release()
+		}
+		var err error
+		total, err = spec.scenario(chunk).Install(sys)
+		if err != nil {
+			res.Err = err
+			res.Log = append(res.Log, err.Error())
+			return res
+		}
 	}
 	if err := sys.RunChecked(spec.MaxCycles); err != nil {
 		res.Err = err
@@ -252,6 +276,12 @@ func runPoint(spec *SweepSpec, chunk int, seed int64, attempt int) (res SweepRes
 	res.Commands = st.Commands
 	if pc := sys.Perf(); pc != nil {
 		ru := pc.Rollup()
+		// The time-weighted queue-occupancy view lives on each MFC (it is
+		// accumulated at occupancy transitions, not enqueue samples); fold
+		// it in here so it rides the rollup to /metrics with the rest.
+		for i := range sys.SPEs {
+			ru.AddOccupancy(i, sys.SPEs[i].MFC().OccupancyHist())
+		}
 		res.Perf = &ru
 	}
 	return res

@@ -139,6 +139,23 @@ type ring struct {
 	seg [NumRamps]timeline
 }
 
+// ringCand is one precomputed candidate ring for a (src, dst) flow: the
+// ring index together with the path it would take. The grant loop in
+// transfer iterates exactly these instead of filtering all rings through
+// the route table on every packet.
+type ringCand struct {
+	segs []int
+	ri   int8
+	hops int8
+}
+
+// flowPlan is the per-(src, dst) routing plan: every eligible candidate
+// ring in ring-index order (the grant loop's deterministic tie-break
+// order).
+type flowPlan struct {
+	cand []ringCand
+}
+
 // Stats aggregates EIB activity counters for tests and reporting.
 type Stats struct {
 	// Transfers counts every data transfer, including ramp-local
@@ -191,6 +208,7 @@ type EIB struct {
 	eng   *sim.Engine
 	cfg   Config
 	rings []ring
+	plan  [NumRamps][NumRamps]flowPlan
 	out   [NumRamps]timeline // source ramp data-out port
 	in    [NumRamps]timeline // destination ramp data-in port
 	// cmdNextTenths is the command bus pacing cursor in tenths of a
@@ -269,7 +287,68 @@ func New(eng *sim.Engine, cfg Config) *EIB {
 	for i := 0; i < cfg.RingsPerDirection; i++ {
 		e.rings = append(e.rings, ring{dir: Counterclockwise})
 	}
+	// Flatten the route table against this instance's ring list: one
+	// candidate entry per eligible ring per flow, in ring-index order,
+	// all carved from a single backing array.
+	n := 0
+	for src := 0; src < NumRamps; src++ {
+		for dst := 0; dst < NumRamps; dst++ {
+			for ri := range e.rings {
+				if src != dst && routeTable[e.rings[ri].dir][src][dst].ok {
+					n++
+				}
+			}
+		}
+	}
+	backing := make([]ringCand, 0, n)
+	for src := 0; src < NumRamps; src++ {
+		for dst := 0; dst < NumRamps; dst++ {
+			if src == dst {
+				continue
+			}
+			from := len(backing)
+			for ri := range e.rings {
+				rt := &routeTable[e.rings[ri].dir][src][dst]
+				if rt.ok {
+					backing = append(backing, ringCand{segs: rt.segs, ri: int8(ri), hops: int8(rt.hops)})
+				}
+			}
+			e.plan[src][dst] = flowPlan{cand: backing[from:len(backing):len(backing)]}
+		}
+	}
 	return e
+}
+
+// Reset returns the EIB to the state New(eng, cfg) would build, keeping
+// the ring list, the flattened route plan (both purely topological) and
+// every timeline's grown backing array. It reports false — leaving the
+// EIB untouched — when cfg changes the ring count, since then the plan
+// table no longer matches and the caller must build a fresh instance.
+// Attachments (faults, tracer, perf) are cleared exactly as on a fresh
+// EIB; the assembling layer rewires them.
+func (e *EIB) Reset(cfg Config) bool {
+	if cfg.BusPeriod <= 0 || cfg.BeatBytes <= 0 || cfg.RingsPerDirection <= 0 {
+		panic("eib: invalid config")
+	}
+	if cfg.RingsPerDirection != e.cfg.RingsPerDirection {
+		return false
+	}
+	e.cfg = cfg
+	for ri := range e.rings {
+		for s := range e.rings[ri].seg {
+			e.rings[ri].seg[s].reset()
+		}
+	}
+	for i := range e.out {
+		e.out[i].reset()
+		e.in[i].reset()
+	}
+	e.cmdNextTenths = 0
+	e.pruneTick = 0
+	e.faults, e.tracer, e.perf = nil, nil, nil
+	e.stats = Stats{}
+	e.trace, e.traceNext = nil, 0
+	return true
 }
 
 // Config returns the configuration the EIB was built with.
@@ -467,32 +546,49 @@ func (e *EIB) transfer(src, dst RampID, bytes int, earliest sim.Time) sim.Time {
 	// iterating a monotone constraint map from any point below its least
 	// fixed point converges to the same fixed point, so the grant time is
 	// bit-identical to starting each ring from earliest.
-	start0, outIdx, inIdx := e.portsFit(src, dst, earliest, dur, 0, 0)
+	//
+	// The call is inlined for the all-tail case: when earliest clears both
+	// ports' last reservations the fixed point is earliest itself (each
+	// tail fit returns its input unchanged), which is the steady state of
+	// every flow the command-phase latency holds back behind its own
+	// previous packets.
+	var start0 sim.Time
+	var outIdx, inIdx int
+	if f, oi, ok := e.out[src].tailFitNoGap(earliest); ok {
+		if _, ii, ok2 := e.in[dst].tailFitNoGap(f); ok2 {
+			start0, outIdx, inIdx = f, oi, ii
+		} else {
+			start0, outIdx, inIdx = e.portsFit(src, dst, earliest, dur, oi, 0)
+		}
+	} else {
+		start0, outIdx, inIdx = e.portsFit(src, dst, earliest, dur, 0, 0)
+	}
 
-	// Candidate rings: those whose direction reaches dst in <= 6 hops.
-	// For each, find the earliest instant at which the source port, the
-	// destination port and every path segment are simultaneously free
-	// for the whole duration (iterated first-fit across the resources).
-	// Settle indices from each earliestFitFrom call feed the next
-	// iteration as exact resume floors, and the winning ring's final
-	// indices feed reserveIdx, so no resource is ever searched twice.
+	// Candidate rings: those whose direction reaches dst in <= 6 hops,
+	// precomputed per flow at construction (e.plan). For each, find the
+	// earliest instant at which the source port, the destination port and
+	// every path segment are simultaneously free for the whole duration
+	// (iterated first-fit across the resources). Settle indices from each
+	// earliestFitFrom call feed the next iteration as exact resume
+	// floors, and the winning ring's final indices feed reserveIdx, so no
+	// resource is ever searched twice.
+	gap := e.cfg.RingDeadCycles
+	cands := e.plan[src][dst].cand
+	best := -1 // index into cands
 	bestRing := -1
 	var bestStart sim.Time
-	var bestSegs []int
 	var bestOutIdx, bestInIdx int
 	var segIdx, bestSegIdx [NumRamps / 2]int
 rings:
-	for ri := range e.rings {
-		r := &e.rings[ri]
+	for ci := range cands {
+		c := &cands[ci]
+		ri := int(c.ri)
 		if ri == outage {
 			e.perf.Abandon(int(src))
 			continue
 		}
-		rt := &routeTable[r.dir][src][dst]
-		if !rt.ok {
-			continue
-		}
-		segs := rt.segs
+		r := &e.rings[ri]
+		segs := c.segs
 		start := start0
 		oIdx, iIdx := outIdx, inIdx
 		for k := range segs {
@@ -505,9 +601,9 @@ rings:
 			// its path segments and the ports are never searched again.
 			next := start
 			for k, s := range segs {
-				f, si, ok := r.seg[s].tailFit(next, flow, e.cfg.RingDeadCycles)
+				f, si, ok := r.seg[s].tailFit(next, flow, gap)
 				if !ok {
-					f, si = r.seg[s].earliestFitFrom(segIdx[k], next, dur, flow, e.cfg.RingDeadCycles)
+					f, si = r.seg[s].earliestFitFrom(segIdx[k], next, dur, flow, gap)
 				}
 				segIdx[k] = si
 				if f > next {
@@ -520,7 +616,7 @@ rings:
 			// The grant bound only ever moves later, so once it reaches
 			// the best ring so far this ring is out of the running (ties
 			// go to the earliest ring index, which the best ring holds).
-			if bestRing != -1 && next >= bestStart {
+			if best != -1 && next >= bestStart {
 				e.perf.Deny(int(src))
 				continue rings
 			}
@@ -529,13 +625,13 @@ rings:
 			// the segments at the ports' fixed point, so a break only
 			// happens with every constraint checked at start.
 			start, oIdx, iIdx = e.portsFit(src, dst, next, dur, oIdx, iIdx)
-			if bestRing != -1 && start >= bestStart {
+			if best != -1 && start >= bestStart {
 				e.perf.Deny(int(src))
 				continue rings
 			}
 		}
-		if bestRing == -1 || start < bestStart {
-			bestRing, bestStart, bestSegs = ri, start, segs
+		if best == -1 || start < bestStart {
+			best, bestRing, bestStart = ci, ri, start
 			bestOutIdx, bestInIdx, bestSegIdx = oIdx, iIdx, segIdx
 			if bestStart == start0 {
 				// No later ring can improve on the port-constrained lower
@@ -544,10 +640,11 @@ rings:
 			}
 		}
 	}
-	if bestRing == -1 {
+	if best == -1 {
 		panic(fmt.Sprintf("eib: no eligible ring %v -> %v", src, dst))
 	}
 
+	bestSegs := cands[best].segs
 	r := &e.rings[bestRing]
 	for k, s := range bestSegs {
 		r.seg[s].reserveIdx(bestSegIdx[k], bestStart, dur, flow)
@@ -572,7 +669,7 @@ rings:
 	}
 
 	// The last beat arrives after the pipeline drains through the hops.
-	end := bestStart + dur + sim.Time(routeTable[r.dir][src][dst].hops)*e.cfg.BusPeriod
+	end := bestStart + dur + sim.Time(cands[best].hops)*e.cfg.BusPeriod
 
 	e.stats.Transfers++
 	e.stats.Bytes += int64(bytes)

@@ -1,0 +1,115 @@
+package eib
+
+import (
+	"encoding/binary"
+
+	"cellbe/internal/sim"
+)
+
+// This file is the EIB's half of the steady-state fast-forward contract
+// (see internal/cell's ffController and DESIGN.md): a canonical relative
+// encoding of the timetable for the periodicity digest, and the
+// shift/linear advances a committed jump applies.
+//
+// The digest encodes only *constraining* intervals: future grant times
+// depend on a reservation [s, e) only while e + gap > now (a fit never
+// starts before now, and an expired interval can only push a fit through
+// the switching gap against its end). Everything older is dead state —
+// retained by the amortized prune but behaviourally invisible — and is
+// skipped, so the encoding is independent of prune phase. Start times at
+// or before now are clamped to a sentinel for the same reason: a fit can
+// never land before an interval that is already running.
+
+// FFEncode appends the EIB's canonical relative state to buf.
+func (e *EIB) FFEncode(buf []byte, now sim.Time) []byte {
+	rel := e.cmdNextTenths - 10*int64(now)
+	if rel < 0 {
+		rel = 0 // an idle command-bus cursor is behaviourally zero
+	}
+	buf = binary.AppendVarint(buf, rel)
+	for r := 0; r < NumRamps; r++ {
+		buf = e.out[r].ffEncode(buf, now, 0)
+		buf = e.in[r].ffEncode(buf, now, 0)
+	}
+	for ri := range e.rings {
+		for s := 0; s < NumRamps; s++ {
+			buf = e.rings[ri].seg[s].ffEncode(buf, now, e.cfg.RingDeadCycles)
+		}
+	}
+	return buf
+}
+
+// ffEncode appends the timeline's constraining intervals, relative to now.
+func (t *timeline) ffEncode(buf []byte, now, gap sim.Time) []byte {
+	live := t.live()
+	n := 0
+	for _, iv := range live {
+		if iv.e+gap > now {
+			n++
+		}
+	}
+	buf = binary.AppendVarint(buf, int64(n))
+	for _, iv := range live {
+		if iv.e+gap <= now {
+			continue
+		}
+		s := int64(iv.s - now)
+		if iv.s <= now {
+			s = -1 // already running (or expired): the start can no longer matter
+		}
+		buf = binary.AppendVarint(buf, s)
+		buf = binary.AppendVarint(buf, int64(iv.e-now))
+		buf = binary.AppendVarint(buf, int64(iv.owner))
+	}
+	return buf
+}
+
+// FFShift translates every absolute-time field by d, the time
+// displacement of a committed jump.
+func (e *EIB) FFShift(d sim.Time) {
+	e.cmdNextTenths += 10 * int64(d)
+	for r := 0; r < NumRamps; r++ {
+		e.out[r].ffShift(d)
+		e.in[r].ffShift(d)
+	}
+	for ri := range e.rings {
+		for s := 0; s < NumRamps; s++ {
+			e.rings[ri].seg[s].ffShift(d)
+		}
+	}
+}
+
+func (t *timeline) ffShift(d sim.Time) {
+	for i := t.head; i < len(t.iv); i++ {
+		t.iv[i].s += d
+		t.iv[i].e += d
+	}
+}
+
+// FFAddStats advances the activity counters by k times the (cur - old)
+// delta. cur must be the Stats snapshot taken immediately before the
+// call; old is the snapshot from the matched earlier anchor.
+func (e *EIB) FFAddStats(cur, old Stats, k int64) {
+	st := &e.stats
+	st.Transfers += k * (cur.Transfers - old.Transfers)
+	st.LocalTransfers += k * (cur.LocalTransfers - old.LocalTransfers)
+	st.Bytes += k * (cur.Bytes - old.Bytes)
+	st.Commands += k * (cur.Commands - old.Commands)
+	st.WaitCycles += sim.Time(k) * (cur.WaitCycles - old.WaitCycles)
+	for i := range st.BusyCycles {
+		st.BusyCycles[i] += sim.Time(k) * (cur.BusyCycles[i] - old.BusyCycles[i])
+	}
+	for i := range st.PerRampBytes {
+		st.PerRampBytes[i] += k * (cur.PerRampBytes[i] - old.PerRampBytes[i])
+		st.PerRampRecvBytes[i] += k * (cur.PerRampRecvBytes[i] - old.PerRampRecvBytes[i])
+		st.PerRampTransfers[i] += k * (cur.PerRampTransfers[i] - old.PerRampTransfers[i])
+	}
+	for i := range st.PerRingTransfers {
+		st.PerRingTransfers[i] += k * (cur.PerRingTransfers[i] - old.PerRingTransfers[i])
+		st.PerRingBytes[i] += k * (cur.PerRingBytes[i] - old.PerRingBytes[i])
+	}
+	for i := range st.PerDirCount {
+		st.PerDirCount[i] += k * (cur.PerDirCount[i] - old.PerDirCount[i])
+		st.PerDirBytes[i] += k * (cur.PerDirBytes[i] - old.PerDirBytes[i])
+	}
+}

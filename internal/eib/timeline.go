@@ -46,6 +46,13 @@ const compactAt = 32
 // live returns the live (not yet pruned) intervals, sorted and disjoint.
 func (t *timeline) live() []interval { return t.iv[t.head:] }
 
+// reset empties the timeline while keeping its backing array, so a
+// recycled EIB starts with the interval capacity its previous run grew.
+func (t *timeline) reset() {
+	t.iv = t.iv[:0]
+	t.head = 0
+}
+
 // prune discards intervals that ended at or before now; they can never
 // affect a future reservation because earliest >= now always holds.
 // The most recent pruned interval is kept so switching gaps against the

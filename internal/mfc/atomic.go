@@ -43,6 +43,9 @@ func (m *MFC) GetLLAR(owner int, lsAddr int, ea int64, done func()) {
 		panic("mfc: getllar requires line alignment")
 	}
 	m.stats.Atomics++
+	if m.taint != nil {
+		m.taint(lsAddr, lsAddr+LineBytes)
+	}
 	af.ReadLocked(owner, ea, m.eng.Now(), m.ls[lsAddr:lsAddr+LineBytes], func(end sim.Time) {
 		done()
 	})

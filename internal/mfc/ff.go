@@ -1,0 +1,244 @@
+package mfc
+
+import (
+	"encoding/binary"
+
+	"cellbe/internal/sim"
+)
+
+// This file is the MFC's half of the steady-state fast-forward contract
+// (see internal/cell's ffController and DESIGN.md): a canonical relative
+// encoding of the controller's live state for the periodicity digest,
+// classification of pending completion Callees back to the command they
+// belong to, and the shift/linear advances a committed jump applies.
+
+// FFLinear is the MFC's linear-counter vector: the bookkeeping that grows
+// by a fixed per-period delta in steady state, advanced analytically by
+// K*(delta) on a committed jump.
+type FFLinear struct {
+	Seq          int64
+	Stats        Stats
+	TagRequested [NumTags]int64
+	TagDelivered [NumTags]int64
+}
+
+// FFLinear snapshots the linear counters.
+func (m *MFC) FFLinear() FFLinear {
+	return FFLinear{
+		Seq:          m.seq,
+		Stats:        m.stats,
+		TagRequested: m.tagRequested,
+		TagDelivered: m.tagDelivered,
+	}
+}
+
+// FFAddLinear advances the linear counters by k times the (cur - old)
+// delta. cur must be the FFLinear snapshot taken immediately before the
+// call; old is the snapshot from the matched earlier anchor.
+func (m *MFC) FFAddLinear(cur, old FFLinear, k int64) {
+	m.seq += k * (cur.Seq - old.Seq)
+	m.stats.Commands += k * (cur.Stats.Commands - old.Stats.Commands)
+	m.stats.Packets += k * (cur.Stats.Packets - old.Stats.Packets)
+	m.stats.Bytes += k * (cur.Stats.Bytes - old.Stats.Bytes)
+	m.stats.ListElements += k * (cur.Stats.ListElements - old.Stats.ListElements)
+	m.stats.Atomics += k * (cur.Stats.Atomics - old.Stats.Atomics)
+	for t := 0; t < NumTags; t++ {
+		m.tagRequested[t] += k * (cur.TagRequested[t] - old.TagRequested[t])
+		m.tagDelivered[t] += k * (cur.TagDelivered[t] - old.TagDelivered[t])
+	}
+}
+
+// FFShift translates every absolute-time field by d, the time
+// displacement of a committed jump.
+func (m *MFC) FFShift(d sim.Time) {
+	m.nextIssue += d
+	for t := range m.tagStart {
+		m.tagStart[t] += d
+	}
+	for _, st := range m.active {
+		st.issued += d
+		if st.started {
+			st.firstPacket += d
+		}
+	}
+}
+
+// FFBegin starts a fresh wavefront-labeling epoch for one digest capture.
+// The controller calls it on every MFC before walking the pending events.
+func (m *MFC) FFBegin() {
+	m.ffEpoch++
+	m.ffOrd = m.ffOrd[:0]
+}
+
+// FFNoteEvent classifies a pending event target against this MFC: if cb
+// is one of its active commands' completion records (or the fault path's
+// delayed-retirement handle), the command is assigned a wavefront label —
+// labels number commands in first-seen order along the pending-event
+// walk. Wavefront labels are the digest's command identity: unlike the
+// queue position or the absolute sequence number, they are invariant
+// under the age-permutation that precesses freely in steady state (which
+// command occupies which queue slot rotates with a period incommensurate
+// with the streaming window, while the wavefront shape itself recurs).
+func (m *MFC) FFNoteEvent(cb sim.Callee) (label int, delayed, ok bool) {
+	var st *cmdState
+	switch t := cb.(type) {
+	case *cmdState:
+		st = t
+	case *retireHandle:
+		st, delayed = t.st, true
+	default:
+		return 0, false, false
+	}
+	if st.m != m {
+		return 0, false, false
+	}
+	if st.ffMark != m.ffEpoch {
+		st.ffMark = m.ffEpoch
+		st.ffLabel = int32(len(m.ffOrd))
+		m.ffOrd = append(m.ffOrd, st)
+	}
+	return int(st.ffLabel), delayed, true
+}
+
+// FFEncode appends the MFC's canonical relative state to buf: everything
+// that determines future behaviour, expressed relative to now so two
+// equivalent instants encode identically. The caller must have called
+// FFBegin and then FFNoteEvent for every pending completion event, in
+// firing order, so the wavefront labeling is complete.
+//
+// Commands are listed in wavefront-label order, then the commands with no
+// packet in flight (invisible to the event walk — they are waiting for
+// the issue window) in queue order. The queue order of fully-issued
+// commands is deliberately NOT encoded: nothing reads it. pickCommand
+// skips issuedAll commands, retirement looks commands up by pointer, and
+// tag accounting is positionless — so two states whose queues hold the
+// same commands in different age orders behave identically, and encoding
+// the order would (empirically: does, with a period incommensurate with
+// the streaming window) keep provably-equivalent states from matching.
+// What pickCommand does read — the relative queue order of commands that
+// can still issue packets — is appended as a label sequence. Fence or
+// barrier commands make the full queue order significant again, so any
+// such command vetoes the anchor.
+//
+// wakeOrd resolves a registered waiter Callee (a process wake record) to
+// a stable process ordinal. routeOf abstracts an effective-address span
+// to a canonical route identity — timing depends on where a span routes
+// (which ramp, the line-boundary split) but not on the absolute address,
+// so commands that differ only in which slot of a streaming window they
+// target encode identically. ok=false means the state is not provably
+// encodable — a proxy command in flight, a completion callback, a waiter
+// that is not a classifiable wake record, an ordering-fenced command, an
+// unlabeled command with packets in flight, or a span routeOf cannot
+// abstract — in which case the caller must not jump.
+func (m *MFC) FFEncode(buf []byte, now sim.Time, wakeOrd func(sim.Callee) (int64, bool), routeOf func(ea int64, size int) (int64, bool)) ([]byte, bool) {
+	if m.proxyQueue != 0 {
+		return buf, false
+	}
+	buf = binary.AppendVarint(buf, int64(m.spuQueue))
+	buf = binary.AppendVarint(buf, int64(m.outstanding))
+	rel := m.nextIssue - now
+	if rel < 0 {
+		rel = 0 // an idle pacing cursor is behaviourally zero
+	}
+	buf = binary.AppendVarint(buf, int64(rel))
+	for t := 0; t < NumTags; t++ {
+		buf = binary.AppendVarint(buf, int64(m.tagCount[t]))
+		buf = binary.AppendVarint(buf, m.tagRequested[t]-m.tagDelivered[t])
+	}
+
+	// Extend the wavefront labeling over the windowless commands so every
+	// active command has a label, then emit contents in label order.
+	ord := m.ffOrd
+	for _, st := range m.active {
+		if st.ffMark != m.ffEpoch {
+			if st.inflight != 0 {
+				// A command with packets in flight must have been labeled
+				// by the event walk; an unlabeled one means a completion
+				// is pending somewhere the digest cannot see.
+				m.ffOrd = ord
+				return buf, false
+			}
+			st.ffMark = m.ffEpoch
+			st.ffLabel = int32(len(ord))
+			ord = append(ord, st)
+		}
+	}
+	m.ffOrd = ord
+	if len(ord) != len(m.active) {
+		// A labeled command that is no longer active: a foreign or stale
+		// Callee matched this MFC. Not provable — bail.
+		return buf, false
+	}
+	buf = binary.AppendVarint(buf, int64(len(ord)))
+	for _, st := range ord {
+		if st.done != nil || st.proxy || st.cmd.Fence || st.cmd.Barrier {
+			return buf, false
+		}
+		c := &st.cmd
+		buf = binary.AppendVarint(buf, int64(c.Kind))
+		buf = binary.AppendVarint(buf, int64(c.Tag))
+		buf = binary.AppendVarint(buf, int64(c.Size))
+		buf = append(buf, boolByte(st.started)|boolByte(st.issuedAll)<<1)
+		// The local-store side of a command has no timing effect (it only
+		// addresses payload bytes, which are exempt from the exactness
+		// contract), so LSAddr and the list's running LS offset are not
+		// encoded. The EA side matters through its route and its position
+		// within a 128-byte line — encode exactly that abstraction.
+		if !c.Kind.IsList() {
+			route, rok := routeOf(c.EA, c.Size)
+			if !rok {
+				return buf, false
+			}
+			buf = binary.AppendVarint(buf, route)
+			buf = binary.AppendVarint(buf, c.EA%LineBytes)
+		}
+		buf = binary.AppendVarint(buf, int64(len(c.List)))
+		for _, el := range c.List {
+			route, rok := routeOf(el.EA, el.Size)
+			if !rok {
+				return buf, false
+			}
+			buf = binary.AppendVarint(buf, route)
+			buf = binary.AppendVarint(buf, el.EA%LineBytes)
+			buf = binary.AppendVarint(buf, int64(el.Size))
+		}
+		buf = binary.AppendVarint(buf, int64(st.offset))
+		buf = binary.AppendVarint(buf, int64(st.listIdx))
+		buf = binary.AppendVarint(buf, int64(st.listOff))
+		buf = binary.AppendVarint(buf, int64(st.inflight))
+	}
+	// The issue-order tail: relative queue order of the commands
+	// pickCommand still considers, as wavefront labels.
+	for _, st := range m.active {
+		if !st.issuedAll {
+			buf = binary.AppendVarint(buf, int64(st.ffLabel))
+		}
+	}
+	buf = binary.AppendVarint(buf, -1)
+	buf = binary.AppendVarint(buf, int64(len(m.tagWaiters)))
+	for _, w := range m.tagWaiters {
+		ord, ok := wakeOrd(w.cb)
+		if !ok {
+			return buf, false
+		}
+		buf = binary.AppendVarint(buf, int64(w.mask))
+		buf = append(buf, boolByte(w.fired))
+		buf = binary.AppendVarint(buf, ord)
+	}
+	buf = binary.AppendVarint(buf, int64(len(m.spaceSubs)))
+	for _, s := range m.spaceSubs {
+		ord, ok := wakeOrd(s.cb)
+		if !ok {
+			return buf, false
+		}
+		buf = binary.AppendVarint(buf, ord)
+	}
+	return buf, true
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -46,11 +46,14 @@ const LineBytes = 128
 
 // Fabric is the MFC's view of the rest of the machine: line-granularity
 // reads and writes by effective address. Calls must not cross a 128-byte
-// EA boundary. done fires at the simulated completion time; the dst/src
-// slices are filled/read at that moment.
+// EA boundary. done.Call fires at the simulated completion time; the
+// dst/src slices are filled/read at that moment. done is an interface
+// rather than a closure so the per-packet completion target is the
+// command-state record itself — no allocation per packet, and pending
+// completions stay identifiable to state inspection.
 type Fabric interface {
-	ReadEA(ea int64, n int, earliest sim.Time, dst []byte, done func(end sim.Time))
-	WriteEA(ea int64, n int, earliest sim.Time, src []byte, done func(end sim.Time))
+	ReadEA(ea int64, n int, earliest sim.Time, dst []byte, done sim.Callee)
+	WriteEA(ea int64, n int, earliest sim.Time, src []byte, done sim.Callee)
 }
 
 // Kind is the DMA command type.
@@ -163,6 +166,13 @@ type cmdState struct {
 	seq     int64
 	proxy   bool
 	started bool
+	// Issue-scan classification, fixed at enqueue. pickCommand runs once
+	// per issued packet and scans every active command, so it reads these
+	// packed bytes instead of chasing cmd.Kind/Fence/Barrier through the
+	// much larger Cmd value.
+	isList bool // kind is GetList/PutList
+	isGet  bool // kind moves EA -> LS
+	plain  bool // neither fenced nor barriered
 	// element progress
 	offset int // bytes issued (element commands)
 	// list progress
@@ -179,11 +189,55 @@ type cmdState struct {
 	issued      sim.Time
 	firstPacket sim.Time
 	done        func()
-	// onPacket is the per-packet completion callback, bound once at
-	// enqueue: a 16 KB command issues up to 128 line-sized packets, and
-	// allocating a fresh closure for each was a top allocation site.
-	onPacket func(end sim.Time)
+	// m backlinks to the owning MFC: the command state itself is the
+	// per-packet completion Callee (a 16 KB command issues up to 128
+	// line-sized packets, and allocating a fresh closure for each was a
+	// top allocation site before the record became the target).
+	m *MFC
+	// ffMark/ffLabel are the fast-forward digest's wavefront labeling
+	// scratch (see ff.go FFNoteEvent); valid only while ffMark equals the
+	// owning MFC's current epoch.
+	ffMark  int64
+	ffLabel int32
+	// retire is the prebound delayed-retirement target for the injected
+	// late-completion fault path (see cmdState.Call).
+	retire retireHandle
 }
+
+// Call is the bus-packet completion path: the fabric calls it once per
+// finished packet. With fault injection attached, an injected late
+// completion defers the retirement bookkeeping by the sampled delay.
+func (st *cmdState) Call(end sim.Time) {
+	m := st.m
+	if m.faults != nil {
+		if d := m.faults.DoneDelay(); d > 0 {
+			// Injected late completion: the acknowledgement exists but the
+			// MFC observes it a bounded number of cycles later.
+			m.eng.AtCallee(m.eng.Now()+d, &st.retire, end)
+			return
+		}
+	}
+	st.retirePacket(end)
+}
+
+// retirePacket books one completed packet and pumps the queue.
+func (st *cmdState) retirePacket(sim.Time) {
+	m := st.m
+	st.inflight--
+	m.outstanding--
+	if st.issuedAll && st.inflight == 0 {
+		m.complete(st)
+	}
+	m.pump()
+}
+
+// retireHandle is the Callee the fault path schedules so a delayed
+// retirement is still a prebound record, not a closure — and still
+// classifiable by state inspection.
+type retireHandle struct{ st *cmdState }
+
+// Call performs the deferred retirement.
+func (r *retireHandle) Call(end sim.Time) { r.st.retirePacket(end) }
 
 // MFC is one SPE's memory flow controller.
 type MFC struct {
@@ -192,6 +246,11 @@ type MFC struct {
 	ls     []byte
 	cfg    Config
 	faults *fault.Injector
+
+	// taint, when set, is told the LS span a command will write before
+	// the data lands (conservatively, at enqueue). The SPE wires its
+	// dirty-span tracker here so recycled local stores know what to zero.
+	taint func(lo, hi int)
 
 	tracer   *trace.Tracer
 	perf     *perfctr.MFCCounters
@@ -212,15 +271,47 @@ type MFC struct {
 	tagRequested [NumTags]int64
 	tagDelivered [NumTags]int64
 	tagWaiters   []*tagWaiter
-	spaceSubs    []func()
+	spaceSubs    []spaceSub
+	// spaceSpare is the drained spaceSubs backing, kept so the next
+	// registration round reuses it instead of growing a fresh slice.
+	spaceSpare []spaceSub
+
+	// freeCmds pools completed cmdStates for reuse by enqueue: command
+	// records churn at DMA rate (one per command, every run), so the
+	// steady-state hot path allocates none. States from aborted runs are
+	// simply dropped; only cleanly completed ones are pooled.
+	freeCmds []*cmdState
 
 	stats Stats
+
+	// SPU-queue occupancy histogram: occHist[n] accumulates the simulated
+	// cycles the queue spent holding exactly n commands (n = 0..QueueDepth),
+	// advanced lazily at each occupancy transition. occLast is the time of
+	// the last transition. The histogram is observational only — it never
+	// feeds back into timing — and costs one add per enqueue/complete.
+	occHist []sim.Time
+	occLast sim.Time
+
+	// Fast-forward wavefront-labeling state (see ff.go): the current
+	// labeling epoch and the commands labeled this epoch, in label order.
+	ffEpoch int64
+	ffOrd   []*cmdState
 }
 
+// tagWaiter and spaceSub carry either a plain callback or a prebound
+// Callee; exactly one is set. The SPU channel interface registers Callees
+// (reusable process wake records); plain funcs remain for tests and
+// ad-hoc drivers.
 type tagWaiter struct {
 	mask  uint32
 	fired bool
 	fn    func()
+	cb    sim.Callee
+}
+
+type spaceSub struct {
+	fn func()
+	cb sim.Callee
 }
 
 // New returns an MFC moving data between ls (the SPE's local store) and
@@ -235,6 +326,11 @@ func New(eng *sim.Engine, fabric Fabric, ls []byte, cfg Config) *MFC {
 // SetFaults attaches a fault injector (nil disables injection). Wired by
 // the cell package at system assembly.
 func (m *MFC) SetFaults(inj *fault.Injector) { m.faults = inj }
+
+// SetLSTaint registers the local-store dirty-span tracker commands that
+// write into LS report to (nil disables tracking). Wired by the owning
+// SPE.
+func (m *MFC) SetLSTaint(fn func(lo, hi int)) { m.taint = fn }
 
 // SetTracer attaches an event tracer (nil disables tracing, the default)
 // and the logical SPE index that identifies this MFC's tracks. Wired by
@@ -251,6 +347,69 @@ func (m *MFC) SetPerf(pc *perfctr.MFCCounters) { m.perf = pc }
 // QueueOccupancy returns the number of occupied SPU command-queue slots
 // (the metrics sampler's per-SPE queue-depth gauge).
 func (m *MFC) QueueOccupancy() int { return m.spuQueue }
+
+// occAdvance charges the cycles since the last occupancy transition to the
+// level the queue is leaving, then moves the accounting cursor to now.
+func (m *MFC) occAdvance(level int) {
+	if m.occHist == nil {
+		m.occHist = make([]sim.Time, m.cfg.QueueDepth+1)
+	}
+	now := m.eng.Now()
+	m.occHist[level] += now - m.occLast
+	m.occLast = now
+}
+
+// OccupancyHist returns the time-weighted SPU-queue occupancy histogram:
+// element n is the simulated cycles the queue spent holding exactly n
+// commands, including the still-open span at the current level. The sum
+// of all buckets equals the current simulated time once any command has
+// been enqueued.
+func (m *MFC) OccupancyHist() []sim.Time {
+	out := make([]sim.Time, m.cfg.QueueDepth+1)
+	copy(out, m.occHist)
+	if m.occHist != nil {
+		out[m.spuQueue] += m.eng.Now() - m.occLast
+	}
+	return out
+}
+
+// Reset returns the MFC to the state New(eng, fabric, ls, cfg) would
+// build, keeping grown slice capacities (active queue, waiter lists,
+// occupancy histogram). Attachments (faults, tracer, perf) are cleared as
+// on a fresh MFC; the assembling layer rewires them. Part of the
+// warm-system recycling path.
+func (m *MFC) Reset(fabric Fabric, ls []byte, cfg Config) {
+	if cfg.QueueDepth <= 0 || cfg.Window <= 0 || cfg.ListWindow <= 0 {
+		panic("mfc: invalid config")
+	}
+	if cfg.QueueDepth != m.cfg.QueueDepth {
+		m.occHist = nil
+	} else {
+		clear(m.occHist)
+	}
+	m.fabric, m.ls, m.cfg = fabric, ls, cfg
+	m.faults, m.tracer, m.perf = nil, nil, nil
+	m.traceSPE = 0
+	m.tagStart = [NumTags]sim.Time{}
+	m.seq = 0
+	m.spuQueue, m.proxyQueue = 0, 0
+	clear(m.active)
+	m.active = m.active[:0]
+	m.outstanding = 0
+	m.nextIssue = 0
+	m.tagCount = [NumTags]int{}
+	m.tagRequested = [NumTags]int64{}
+	m.tagDelivered = [NumTags]int64{}
+	clear(m.tagWaiters)
+	m.tagWaiters = m.tagWaiters[:0]
+	clear(m.spaceSubs)
+	m.spaceSubs = m.spaceSubs[:0]
+	m.stats = Stats{}
+	m.occLast = 0
+	m.ffEpoch = 0
+	clear(m.ffOrd)
+	m.ffOrd = m.ffOrd[:0]
+}
 
 // Stats returns a snapshot of the activity counters.
 func (m *MFC) Stats() Stats { return m.stats }
@@ -345,12 +504,31 @@ func (m *MFC) enqueue(c Cmd, done func(), proxy bool) error {
 		if m.spuQueue >= m.cfg.QueueDepth {
 			return ErrQueueFull
 		}
+		m.occAdvance(m.spuQueue)
 		m.spuQueue++
 		m.perf.SampleQueue(m.spuQueue)
 	}
 	m.seq++
-	st := &cmdState{cmd: c, seq: m.seq, proxy: proxy, done: done, readyAt: -1, issued: m.eng.Now()}
-	st.onPacket = m.packetDone(st)
+	var st *cmdState
+	if n := len(m.freeCmds); n > 0 {
+		st = m.freeCmds[n-1]
+		m.freeCmds[n-1] = nil
+		m.freeCmds = m.freeCmds[:n-1]
+	} else {
+		st = new(cmdState)
+	}
+	*st = cmdState{cmd: c, seq: m.seq, proxy: proxy, done: done, readyAt: -1, issued: m.eng.Now(), m: m}
+	st.isList = c.Kind.IsList()
+	st.isGet = c.Kind.IsGet()
+	st.plain = !c.Fence && !c.Barrier
+	if st.isGet && m.taint != nil {
+		// The command will write this LS span as its packets land; list
+		// elements fill the store contiguously from LSAddr. Taint now,
+		// conservatively — an aborted run leaves at most a clean span
+		// marked dirty.
+		m.taint(c.LSAddr, c.LSAddr+int(payloadBytes(&c)))
+	}
+	st.retire.st = st
 	m.active = append(m.active, st)
 	if m.tagCount[c.Tag] == 0 {
 		m.tagStart[c.Tag] = m.eng.Now()
@@ -375,12 +553,23 @@ func payloadBytes(c *Cmd) int64 {
 }
 
 // OnSpace registers fn to run once, the next time a queue slot frees.
-func (m *MFC) OnSpace(fn func()) { m.spaceSubs = append(m.spaceSubs, fn) }
+func (m *MFC) OnSpace(fn func()) { m.spaceSubs = append(m.spaceSubs, spaceSub{fn: fn}) }
+
+// OnSpaceCB is OnSpace with a prebound Callee target (the SPU channel
+// interface's reusable wake record): registration allocates nothing.
+func (m *MFC) OnSpaceCB(cb sim.Callee) { m.spaceSubs = append(m.spaceSubs, spaceSub{cb: cb}) }
 
 // WaitTags registers fn to run when every tag group in mask has no
 // incomplete commands. If already true, fn is scheduled immediately.
 func (m *MFC) WaitTags(mask uint32, fn func()) {
 	w := &tagWaiter{mask: mask, fn: fn}
+	m.tagWaiters = append(m.tagWaiters, w)
+	m.checkTagWaiters()
+}
+
+// WaitTagsCB is WaitTags with a prebound Callee target.
+func (m *MFC) WaitTagsCB(mask uint32, cb sim.Callee) {
+	w := &tagWaiter{mask: mask, cb: cb}
 	m.tagWaiters = append(m.tagWaiters, w)
 	m.checkTagWaiters()
 }
@@ -400,7 +589,11 @@ func (m *MFC) checkTagWaiters() {
 	for _, w := range m.tagWaiters {
 		if !w.fired && m.TagsComplete(w.mask) {
 			w.fired = true
-			m.eng.Post(w.fn)
+			if w.cb != nil {
+				m.eng.PostCallee(w.cb, m.eng.Now())
+			} else {
+				m.eng.Post(w.fn)
+			}
 		} else if !w.fired {
 			kept = append(kept, w)
 		}
@@ -511,7 +704,7 @@ func (m *MFC) pump() {
 			t += m.cfg.SetupCycles
 			st.firstPacket = t
 		}
-		if st.cmd.Kind.IsList() && newElem {
+		if st.isList && newElem {
 			t += m.cfg.ListElemCycles
 			m.stats.ListElements++
 		}
@@ -524,10 +717,10 @@ func (m *MFC) pump() {
 		m.stats.Packets++
 		m.stats.Bytes += int64(n)
 
-		if st.cmd.Kind.IsGet() {
-			m.fabric.ReadEA(ea, n, t, m.ls[lsOff:lsOff+n], st.onPacket)
+		if st.isGet {
+			m.fabric.ReadEA(ea, n, t, m.ls[lsOff:lsOff+n], st)
 		} else {
-			m.fabric.WriteEA(ea, n, t, m.ls[lsOff:lsOff+n], st.onPacket)
+			m.fabric.WriteEA(ea, n, t, m.ls[lsOff:lsOff+n], st)
 		}
 	}
 }
@@ -539,14 +732,15 @@ func (m *MFC) pump() {
 // fewest packets in flight (ties broken by queue order).
 func (m *MFC) pickCommand() *cmdState {
 	var best *cmdState
+	listWindow := m.cfg.ListWindow
 	for _, st := range m.active {
 		if st.issuedAll {
 			continue
 		}
-		if st.cmd.Kind.IsList() && st.inflight >= m.cfg.ListWindow {
+		if st.isList && st.inflight >= listWindow {
 			continue
 		}
-		if !m.orderingSatisfied(st) {
+		if !st.plain && !m.orderingSatisfied(st) {
 			// Only this command waits; later independent commands may
 			// bypass it (fences and barriers order the tagged command
 			// against earlier ones, not the whole queue).
@@ -554,32 +748,15 @@ func (m *MFC) pickCommand() *cmdState {
 		}
 		if best == nil || st.inflight < best.inflight {
 			best = st
+			if st.inflight == 0 {
+				// Nothing can strictly beat zero packets in flight, and
+				// ties always go to the earliest queue position, which
+				// this command holds among the zeros.
+				break
+			}
 		}
 	}
 	return best
-}
-
-func (m *MFC) packetDone(st *cmdState) func(end sim.Time) {
-	retire := func(end sim.Time) {
-		st.inflight--
-		m.outstanding--
-		if st.issuedAll && st.inflight == 0 {
-			m.complete(st)
-		}
-		m.pump()
-	}
-	if m.faults == nil {
-		return retire
-	}
-	return func(end sim.Time) {
-		// Injected late completion: the acknowledgement exists but the
-		// MFC observes it a bounded number of cycles later.
-		if d := m.faults.DoneDelay(); d > 0 {
-			m.eng.AtCall(m.eng.Now()+d, retire, end)
-			return
-		}
-		retire(end)
-	}
 }
 
 func (m *MFC) complete(st *cmdState) {
@@ -592,6 +769,7 @@ func (m *MFC) complete(st *cmdState) {
 	if st.proxy {
 		m.proxyQueue--
 	} else {
+		m.occAdvance(m.spuQueue)
 		m.spuQueue--
 	}
 	m.tagCount[st.cmd.Tag]--
@@ -608,12 +786,25 @@ func (m *MFC) complete(st *cmdState) {
 		m.eng.Post(st.done)
 	}
 	if len(m.spaceSubs) > 0 {
+		// Swap in the spare backing before posting: a posted callback may
+		// re-register, and it must land in the next round's slice, not
+		// the one being drained.
 		subs := m.spaceSubs
-		m.spaceSubs = nil
-		for _, fn := range subs {
-			m.eng.Post(fn)
+		m.spaceSubs = m.spaceSpare[:0]
+		for _, s := range subs {
+			if s.cb != nil {
+				m.eng.PostCallee(s.cb, m.eng.Now())
+			} else {
+				m.eng.Post(s.fn)
+			}
 		}
+		clear(subs)
+		m.spaceSpare = subs[:0]
 	}
+	// The last packet has retired and every reference above is by value:
+	// the record can be recycled for a future enqueue.
+	*st = cmdState{}
+	m.freeCmds = append(m.freeCmds, st)
 }
 
 // ConservationError reports a violated data-conservation invariant at

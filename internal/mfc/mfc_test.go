@@ -29,7 +29,7 @@ func (f *fakeFabric) track(delta int) {
 	}
 }
 
-func (f *fakeFabric) ReadEA(ea int64, n int, earliest sim.Time, dst []byte, done func(end sim.Time)) {
+func (f *fakeFabric) ReadEA(ea int64, n int, earliest sim.Time, dst []byte, done sim.Callee) {
 	f.reads++
 	start := earliest
 	if now := f.eng.Now(); start < now {
@@ -40,11 +40,11 @@ func (f *fakeFabric) ReadEA(ea int64, n int, earliest sim.Time, dst []byte, done
 	f.eng.At(end, func() {
 		copy(dst, f.mem[ea:ea+int64(n)])
 		f.track(-1)
-		done(end)
+		done.Call(end)
 	})
 }
 
-func (f *fakeFabric) WriteEA(ea int64, n int, earliest sim.Time, src []byte, done func(end sim.Time)) {
+func (f *fakeFabric) WriteEA(ea int64, n int, earliest sim.Time, src []byte, done sim.Callee) {
 	f.writes++
 	start := earliest
 	if now := f.eng.Now(); start < now {
@@ -55,7 +55,7 @@ func (f *fakeFabric) WriteEA(ea int64, n int, earliest sim.Time, src []byte, don
 	f.eng.At(end, func() {
 		copy(f.mem[ea:ea+int64(n)], src)
 		f.track(-1)
-		done(end)
+		done.Call(end)
 	})
 }
 

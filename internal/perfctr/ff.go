@@ -1,0 +1,46 @@
+package perfctr
+
+// FFAddScaled advances every counter by k times its (current - base)
+// delta: the fast-forward commit path, which extrapolates one observed
+// steady-state period across the k repetitions it skips. base is the
+// snapshot taken at the matched earlier anchor. The XDR banks' private
+// row-phase fields (lastRow/opened) are not counters and are left alone;
+// the controller only jumps while the banks are untouched, so their
+// deltas are zero anyway.
+func (c *Counters) FFAddScaled(base *Counters, k uint64) {
+	if c == nil {
+		return
+	}
+	e, be := &c.EIB, &base.EIB
+	for i := range e.Grants {
+		e.Grants[i] += k * (e.Grants[i] - be.Grants[i])
+		e.Denies[i] += k * (e.Denies[i] - be.Denies[i])
+		e.Abandons[i] += k * (e.Abandons[i] - be.Abandons[i])
+	}
+	for i := range e.RingBusy {
+		e.RingBusy[i] += k * (e.RingBusy[i] - be.RingBusy[i])
+	}
+	e.LocalGrants += k * (e.LocalGrants - be.LocalGrants)
+	e.WaitCycles += k * (e.WaitCycles - be.WaitCycles)
+	e.Bytes += k * (e.Bytes - be.Bytes)
+	e.Commands += k * (e.Commands - be.Commands)
+	for i := range c.XDR {
+		x, bx := &c.XDR[i], &base.XDR[i]
+		x.RowOpens += k * (x.RowOpens - bx.RowOpens)
+		x.RowHits += k * (x.RowHits - bx.RowHits)
+		x.RowMisses += k * (x.RowMisses - bx.RowMisses)
+		x.RefreshStalls += k * (x.RefreshStalls - bx.RefreshStalls)
+		x.ReadBytes += k * (x.ReadBytes - bx.ReadBytes)
+		x.WriteBytes += k * (x.WriteBytes - bx.WriteBytes)
+	}
+	for i := range c.MFC {
+		m, bm := &c.MFC[i], &base.MFC[i]
+		for b := range m.Occupancy {
+			m.Occupancy[b] += k * (m.Occupancy[b] - bm.Occupancy[b])
+		}
+		m.Retries += k * (m.Retries - bm.Retries)
+	}
+	c.PPE.MissQStalls += k * (c.PPE.MissQStalls - base.PPE.MissQStalls)
+	c.PPE.Fills += k * (c.PPE.Fills - base.PPE.Fills)
+	c.PPE.PrefetchFills += k * (c.PPE.PrefetchFills - base.PPE.PrefetchFills)
+}

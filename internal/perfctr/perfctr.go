@@ -251,12 +251,28 @@ type Rollup struct {
 	EIBWaitCycles uint64 `json:"eib_wait_cycles,omitempty"`
 	EIBCommands   uint64 `json:"eib_commands,omitempty"`
 
+	// Per-ramp and per-ring EIB detail, preserved from the counter block
+	// rather than collapsed into the totals above: grants/denies/abandons
+	// by source ramp, busy cycles by data ring. The totals remain the sums
+	// of these, so existing consumers are unchanged.
+	EIBRampGrants   [NumRamps]uint64 `json:"eib_ramp_grants"`
+	EIBRampDenies   [NumRamps]uint64 `json:"eib_ramp_denies"`
+	EIBRampAbandons [NumRamps]uint64 `json:"eib_ramp_abandons"`
+	EIBRingBusy     [NumRings]uint64 `json:"eib_ring_busy"`
+
 	XDRBytes     [NumBanks]uint64 `json:"xdr_bytes"`
 	XDRRowHits   [NumBanks]uint64 `json:"xdr_row_hits"`
 	XDRRowMisses [NumBanks]uint64 `json:"xdr_row_misses"`
 	XDRRefreshes [NumBanks]uint64 `json:"xdr_refreshes"`
 
 	MFCRetries uint64 `json:"mfc_retries,omitempty"`
+	// MFCOccSamples is each SPE's enqueue-time queue-depth histogram (the
+	// counter block's Occupancy). MFCOccCycles is the time-weighted
+	// variant the MFC itself accumulates — simulated cycles spent at each
+	// SPU-queue depth — folded in at harvest (see AddOccupancy); depths
+	// beyond the last bucket clamp into it.
+	MFCOccSamples [NumSPEs][QueueBuckets]uint64 `json:"mfc_occ_samples"`
+	MFCOccCycles  [NumSPEs][QueueBuckets]uint64 `json:"mfc_occ_cycles"`
 
 	PPEMissQStalls   uint64 `json:"ppe_missq_stalls,omitempty"`
 	PPEFills         uint64 `json:"ppe_fills,omitempty"`
@@ -275,6 +291,10 @@ func (c *Counters) Rollup() Rollup {
 	r.EIBLocal = c.EIB.LocalGrants
 	r.EIBWaitCycles = c.EIB.WaitCycles
 	r.EIBCommands = c.EIB.Commands
+	r.EIBRampGrants = c.EIB.Grants
+	r.EIBRampDenies = c.EIB.Denies
+	r.EIBRampAbandons = c.EIB.Abandons
+	r.EIBRingBusy = c.EIB.RingBusy
 	for _, d := range c.EIB.Denies {
 		r.EIBDenies += d
 	}
@@ -292,6 +312,7 @@ func (c *Counters) Rollup() Rollup {
 	}
 	for i := range c.MFC {
 		r.MFCRetries += c.MFC[i].Retries
+		r.MFCOccSamples[i] = c.MFC[i].Occupancy
 	}
 	r.PPEMissQStalls = c.PPE.MissQStalls
 	r.PPEFills = c.PPE.Fills
@@ -316,10 +337,42 @@ func (r *Rollup) Add(other Rollup) {
 		r.XDRRowMisses[i] += other.XDRRowMisses[i]
 		r.XDRRefreshes[i] += other.XDRRefreshes[i]
 	}
+	for i := range r.EIBRampGrants {
+		r.EIBRampGrants[i] += other.EIBRampGrants[i]
+		r.EIBRampDenies[i] += other.EIBRampDenies[i]
+		r.EIBRampAbandons[i] += other.EIBRampAbandons[i]
+	}
+	for i := range r.EIBRingBusy {
+		r.EIBRingBusy[i] += other.EIBRingBusy[i]
+	}
 	r.MFCRetries += other.MFCRetries
+	for i := range r.MFCOccSamples {
+		for d := range r.MFCOccSamples[i] {
+			r.MFCOccSamples[i][d] += other.MFCOccSamples[i][d]
+			r.MFCOccCycles[i][d] += other.MFCOccCycles[i][d]
+		}
+	}
 	r.PPEMissQStalls += other.PPEMissQStalls
 	r.PPEFills += other.PPEFills
 	r.PPEPrefetchFills += other.PPEPrefetchFills
+}
+
+// AddOccupancy folds one SPE's time-weighted SPU-queue histogram — hist[n]
+// is the simulated cycles the queue spent holding exactly n commands, as
+// mfc.OccupancyHist reports it — into the rollup, clamping depths beyond
+// the last bucket. The sweep harvest calls this per SPE after a run, since
+// the time-weighted view lives on the MFC, not in the counter block.
+func (r *Rollup) AddOccupancy(spe int, hist []sim.Time) {
+	if spe < 0 || spe >= NumSPEs {
+		return
+	}
+	for d, cycles := range hist {
+		b := d
+		if b >= QueueBuckets {
+			b = QueueBuckets - 1
+		}
+		r.MFCOccCycles[spe][b] += uint64(cycles)
+	}
 }
 
 // XDRBytesTotal returns traffic summed over banks.

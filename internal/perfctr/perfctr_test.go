@@ -107,6 +107,11 @@ func TestRollupAndAdd(t *testing.T) {
 		MFCRetries:     1,
 		PPEMissQStalls: 1, PPEFills: 1, PPEPrefetchFills: 1,
 	}
+	want.EIBRampGrants[2] = 1
+	want.EIBRampDenies[2] = 1
+	want.EIBRampAbandons[7] = 1
+	want.EIBRingBusy[1] = 10
+	want.MFCOccSamples[0][1] = 1
 	if r != want {
 		t.Errorf("Rollup() = %+v, want %+v", r, want)
 	}
@@ -119,6 +124,39 @@ func TestRollupAndAdd(t *testing.T) {
 	sum.Add(r)
 	if sum.EIBBytes != 1000 || sum.XDRBytes[1] != 64 || sum.MFCRetries != 2 || sum.PPEPrefetchFills != 2 {
 		t.Errorf("Add not field-complete: %+v", sum)
+	}
+	if sum.EIBRampGrants[2] != 2 || sum.EIBRingBusy[1] != 20 || sum.MFCOccSamples[0][1] != 2 {
+		t.Errorf("Add dropped per-ramp/per-SPE detail: %+v", sum)
+	}
+}
+
+// TestAddOccupancy pins the time-weighted histogram fold: cycles land in
+// the right (spe, depth) cell, depths beyond the last bucket clamp into
+// it, and out-of-range SPE indices are ignored.
+func TestAddOccupancy(t *testing.T) {
+	var r Rollup
+	hist := make([]sim.Time, QueueBuckets+3)
+	hist[0] = 100
+	hist[2] = 40
+	hist[QueueBuckets+2] = 7 // deeper than the histogram: clamps to last bucket
+	r.AddOccupancy(3, hist)
+	r.AddOccupancy(3, hist)
+	r.AddOccupancy(-1, hist)      // ignored
+	r.AddOccupancy(NumSPEs, hist) // ignored
+	if r.MFCOccCycles[3][0] != 200 || r.MFCOccCycles[3][2] != 80 {
+		t.Errorf("cycles misfolded: %v", r.MFCOccCycles[3])
+	}
+	if r.MFCOccCycles[3][QueueBuckets-1] != 14 {
+		t.Errorf("deep bucket = %d, want 14 (clamped)", r.MFCOccCycles[3][QueueBuckets-1])
+	}
+	for spe := range r.MFCOccCycles {
+		if spe != 3 {
+			for d, v := range r.MFCOccCycles[spe] {
+				if v != 0 {
+					t.Fatalf("spe %d depth %d unexpectedly %d", spe, d, v)
+				}
+			}
+		}
 	}
 }
 

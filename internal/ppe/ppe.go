@@ -166,6 +166,30 @@ func (p *PPE) SetPerf(pc *perfctr.PPECounters) { p.perf = pc }
 // plus prefetches with a fill outstanding).
 func (p *PPE) InflightFills() int { return len(p.inflight) }
 
+// Reset returns the PPE to the state New(eng, mem, cfg) would build,
+// keeping both cache arrays (flushed) and the fill map. Attachments
+// (tracer, perf) are cleared as on a fresh PPE; the assembling layer
+// rewires them. Part of the warm-system recycling path.
+func (p *PPE) Reset(mem MemoryPort, cfg Config) {
+	if cfg.L1Bytes != p.cfg.L1Bytes || cfg.L1Assoc != p.cfg.L1Assoc {
+		p.l1 = newCacheArray(cfg.L1Bytes, LineBytes, cfg.L1Assoc)
+	} else {
+		p.l1.Flush()
+	}
+	if cfg.L2Bytes != p.cfg.L2Bytes || cfg.L2Assoc != p.cfg.L2Assoc {
+		p.l2 = newCacheArray(cfg.L2Bytes, LineBytes, cfg.L2Assoc)
+	} else {
+		p.l2.Flush()
+	}
+	p.cfg = cfg
+	p.mem = mem
+	clear(p.inflight)
+	p.storePort.Reset(cfg.StorePortInterval)
+	p.tracer, p.perf = nil, nil
+	p.activeThreads = 0
+	p.stats = Stats{}
+}
+
 // New returns a PPE attached to mem.
 func New(eng *sim.Engine, mem MemoryPort, cfg Config) *PPE {
 	return &PPE{

@@ -36,6 +36,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("cellserve_cache_misses_total", "Result cache misses.", cs.Misses)
 	counter("cellserve_cache_evictions_total", "Result cache LRU evictions.", cs.Evictions)
 	counter("cellserve_simulations_total", "Grid points actually simulated (cache hits excluded).", cs.Simulations)
+	counter("cellserve_warm_points_total", "Grid points stamped from a warm snapshot (recycled arena carcass) instead of cold-booted.", s.sched.WarmPoints())
 
 	if s.opts.Journal != nil {
 		h := s.opts.Journal.Health()
@@ -102,7 +103,50 @@ func writePerf(b *strings.Builder, prefix, extra string, ru perfctr.Rollup) {
 		series("xdr_row_misses_total", bankLabel, ru.XDRRowMisses[i])
 		series("xdr_refreshes_total", bankLabel, ru.XDRRefreshes[i])
 	}
+	// Per-ramp and per-ring EIB detail. Every ramp and ring is emitted
+	// (idle ones as zero) so dashboards get stable series.
+	for i := range ru.EIBRampGrants {
+		rampLabel := fmt.Sprintf("ramp=\"%d\"", i)
+		if i == 0 && extra == "" {
+			for _, name := range []string{"eib_ramp_grants_total", "eib_ramp_denies_total", "eib_ramp_abandons_total"} {
+				fmt.Fprintf(b, "# TYPE %s_%s counter\n", prefix, name)
+			}
+		}
+		series("eib_ramp_grants_total", rampLabel, ru.EIBRampGrants[i])
+		series("eib_ramp_denies_total", rampLabel, ru.EIBRampDenies[i])
+		series("eib_ramp_abandons_total", rampLabel, ru.EIBRampAbandons[i])
+	}
+	for i := range ru.EIBRingBusy {
+		if i == 0 && extra == "" {
+			fmt.Fprintf(b, "# TYPE %s_eib_ring_busy_cycles_total counter\n", prefix)
+		}
+		series("eib_ring_busy_cycles_total", fmt.Sprintf("ring=\"%d\"", i), ru.EIBRingBusy[i])
+	}
 	emit("mfc_retries_total", ru.MFCRetries)
+	// Per-SPE MFC queue-occupancy histograms: enqueue-time depth samples
+	// and the time-weighted cycles-at-depth view. Only touched buckets are
+	// emitted — 2 x 8 x 17 all-zero series would drown the scrape.
+	occTyped := false
+	for spe := range ru.MFCOccSamples {
+		for d := range ru.MFCOccSamples[spe] {
+			samples, cycles := ru.MFCOccSamples[spe][d], ru.MFCOccCycles[spe][d]
+			if samples == 0 && cycles == 0 {
+				continue
+			}
+			if !occTyped && extra == "" {
+				fmt.Fprintf(b, "# TYPE %s_mfc_occupancy_samples_total counter\n", prefix)
+				fmt.Fprintf(b, "# TYPE %s_mfc_occupancy_cycles_total counter\n", prefix)
+			}
+			occTyped = true
+			label := fmt.Sprintf("spe=\"%d\",depth=\"%d\"", spe, d)
+			if samples > 0 {
+				series("mfc_occupancy_samples_total", label, samples)
+			}
+			if cycles > 0 {
+				series("mfc_occupancy_cycles_total", label, cycles)
+			}
+		}
+	}
 	emit("ppe_missq_stalls_total", ru.PPEMissQStalls)
 	emit("ppe_fills_total", ru.PPEFills)
 	emit("ppe_prefetch_fills_total", ru.PPEPrefetchFills)

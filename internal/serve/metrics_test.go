@@ -1,6 +1,7 @@
 package serve_test
 
 import (
+	"fmt"
 	"io"
 	"regexp"
 	"strconv"
@@ -8,6 +9,7 @@ import (
 	"testing"
 
 	"cellbe/internal/core"
+	"cellbe/internal/perfctr"
 	"cellbe/internal/serve"
 )
 
@@ -92,6 +94,62 @@ func TestMetricsEndpoint(t *testing.T) {
 
 	if !strings.Contains(body, "# TYPE cellserve_perf_eib_bytes_total counter") {
 		t.Error("missing TYPE header for perf counter family")
+	}
+
+	// Per-ramp EIB detail: a stable series per ramp, whose grant counts
+	// sum back to the scheduler-level grant total.
+	var rampSum float64
+	for i := 0; i < perfctr.NumRamps; i++ {
+		s := fmt.Sprintf(`cellserve_perf_eib_ramp_grants_total{ramp="%d"}`, i)
+		v, ok := values[s]
+		if !ok {
+			t.Errorf("missing series %s", s)
+		}
+		rampSum += v
+	}
+	if rampSum != values["cellserve_perf_eib_grants_total"] {
+		t.Errorf("per-ramp grants sum to %v, scheduler total %v", rampSum, values["cellserve_perf_eib_grants_total"])
+	}
+	var ringBusy float64
+	for i := 0; i < perfctr.NumRings; i++ {
+		s := fmt.Sprintf(`cellserve_perf_eib_ring_busy_cycles_total{ring="%d"}`, i)
+		v, ok := values[s]
+		if !ok {
+			t.Errorf("missing series %s", s)
+		}
+		ringBusy += v
+	}
+	if ringBusy <= 0 {
+		t.Error("ring busy cycles all zero after a saturating sweep")
+	}
+
+	// Per-SPE MFC occupancy histograms: both the enqueue-sample and the
+	// time-weighted cycle views must be present (touched buckets only)
+	// and positive for the active SPEs.
+	occRe := regexp.MustCompile(`^cellserve_perf_mfc_occupancy_(samples|cycles)_total\{spe="(\d+)",depth="(\d+)"\}$`)
+	var occSamples, occCycles float64
+	for name, v := range values {
+		m := occRe.FindStringSubmatch(name)
+		if m == nil {
+			continue
+		}
+		if m[1] == "samples" {
+			occSamples += v
+		} else {
+			occCycles += v
+		}
+	}
+	if occSamples <= 0 {
+		t.Error("no MFC occupancy sample series emitted")
+	}
+	if occCycles <= 0 {
+		t.Error("no time-weighted MFC occupancy series emitted")
+	}
+
+	// Every point of the cycle sweep is snapshot-capable, so all of them
+	// must have been stamped from the warm arena.
+	if got := values["cellserve_warm_points_total"]; got != 4 {
+		t.Errorf("cellserve_warm_points_total = %v, want 4", got)
 	}
 }
 

@@ -125,11 +125,49 @@ type Engine struct {
 	procs     []*Process
 	procsDone int
 	diags     []func() []string
+	liveness  []func() []string
+
+	// ffScratch is the reusable event buffer VisitPending and FFJump
+	// collect the queue into (see ff.go); retained so steady-state
+	// fast-forward anchors allocate nothing once warm.
+	ffScratch []event
 }
 
 // NewEngine returns an engine with time set to zero and no pending events.
 func NewEngine() *Engine {
 	return &Engine{}
+}
+
+// Reset returns the engine to its NewEngine state while keeping every
+// allocation it has grown — the wheel's per-bucket event slices, the
+// staged batch, the fast-forward scratch buffer and the hook slices. It
+// exists for warm-system recycling (cell.Snapshot): a reset engine must be
+// observationally identical to a fresh one, including the sequence
+// counter, so a rerun schedules the same events with the same (at, seq)
+// keys and replays cycle-for-cycle.
+func (e *Engine) Reset() {
+	e.now, e.seq, e.nfired = 0, 0, 0
+	e.npend, e.ndaemon = 0, 0
+	clear(e.cur)
+	e.cur = e.cur[:0]
+	e.curHead, e.curAt = 0, 0
+	e.cursor = 0
+	for l := range e.buckets {
+		for b := range e.buckets[l] {
+			if bk := e.buckets[l][b]; len(bk) > 0 {
+				clear(bk)
+				e.buckets[l][b] = bk[:0]
+			}
+		}
+		e.occ[l] = 0
+	}
+	clear(e.procs)
+	e.procs = e.procs[:0]
+	e.procsDone = 0
+	e.diags = e.diags[:0]
+	e.liveness = e.liveness[:0]
+	clear(e.ffScratch)
+	e.ffScratch = e.ffScratch[:0]
 }
 
 // Now returns the current simulated time.
@@ -361,6 +399,16 @@ func (e *Engine) AtCallee(t Time, cb Callee, arg Time) {
 	}
 	e.seq++
 	e.insert(event{at: t, seq: e.seq, cb: cb, targ: arg})
+}
+
+// PostCallee arranges for cb.Call(arg) to run at the current simulated
+// time, after every event already scheduled for it. It is to Post what
+// AtCallee is to At: the prebound-record form of the same-cycle dispatch
+// path, used by completion notifications whose target is a reusable
+// record rather than a closure.
+func (e *Engine) PostCallee(cb Callee, arg Time) {
+	e.seq++
+	e.insert(event{at: e.now, seq: e.seq, cb: cb, targ: arg})
 }
 
 // AtDaemon arranges for fn to run at absolute time t (>= Now) as a daemon

@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// This file is the engine's half of the steady-state fast-forward
+// contract (see internal/cell's ffController and DESIGN.md): read-only
+// inspection of the pending-event queue in exact firing order, a census
+// of live processes, and the two analytic state advances a committed
+// jump performs — translating every pending event forward in time, and
+// bumping the linear bookkeeping counters.
+
+// PendingEvent is VisitPending's read-only view of one scheduled event.
+// Exactly one of Proc or Cb is set for classifiable events; Opaque marks
+// plain-closure events (fn/tfn targets), whose identity cannot be
+// recovered by inspection.
+type PendingEvent struct {
+	At     Time
+	Seq    int64
+	Targ   Time // pre-bound Time argument (Cb events only)
+	Proc   *Process
+	Cb     Callee
+	Daemon bool
+	Opaque bool
+}
+
+// VisitPending calls visit for every pending event in firing order — the
+// (at, seq) order Step dispatches them in — stopping early when visit
+// returns false. It reports whether the walk ran to completion. The
+// engine state is not modified; the walk is safe mid-Step (the event
+// currently executing has already been dequeued and is not visited).
+func (e *Engine) VisitPending(visit func(PendingEvent) bool) bool {
+	all := e.collectPending()
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].at != all[b].at {
+			return all[a].at < all[b].at
+		}
+		return all[a].seq < all[b].seq
+	})
+	ok := true
+	for i := range all {
+		ev := &all[i]
+		if !visit(PendingEvent{
+			At:     ev.at,
+			Seq:    ev.seq,
+			Targ:   ev.targ,
+			Proc:   ev.proc,
+			Cb:     ev.cb,
+			Daemon: ev.daemon,
+			Opaque: ev.fn != nil || ev.tfn != nil,
+		}) {
+			ok = false
+			break
+		}
+	}
+	e.releaseScratch(all)
+	return ok
+}
+
+// VisitLiveProcesses calls visit for every spawned process whose body has
+// not returned, in spawn order, stopping early when visit returns false.
+// It reports whether the walk ran to completion.
+func (e *Engine) VisitLiveProcesses(visit func(*Process) bool) bool {
+	for _, p := range e.procs {
+		if p.done {
+			continue
+		}
+		if !visit(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// Scheduled returns the number of events scheduled so far (the engine's
+// sequence counter). Together with Fired it is one of the linear counters
+// a fast-forward commit advances analytically.
+func (e *Engine) Scheduled() int64 { return e.seq }
+
+// FFJump translates the engine d cycles forward: now advances by d and
+// every pending event moves with it (timestamps and, for pre-bound Callee
+// targets, the bound completion-time argument). The caller — the
+// fast-forward controller — must have proven that the translated state is
+// exactly the state cycle-accurate execution would reach; FFJump itself
+// fires nothing and preserves relative event order bit-for-bit (events
+// keep their sequence numbers, so same-timestamp ordering is unchanged).
+// Safe mid-Step, like VisitPending.
+func (e *Engine) FFJump(d Time) {
+	if d <= 0 {
+		panic(fmt.Sprintf("sim: fast-forward by %d cycles", d))
+	}
+	all := e.collectPending()
+	// Clear the staged batch and the wheel before re-filing: the events
+	// are all in the scratch copy now.
+	for i := e.curHead; i < len(e.cur); i++ {
+		e.cur[i] = event{}
+	}
+	e.cur = e.cur[:0]
+	e.curHead = 0
+	for lvl := 0; lvl < wheelLevels; lvl++ {
+		m := e.occ[lvl]
+		for m != 0 {
+			i := bits.TrailingZeros64(m)
+			m &^= 1 << uint(i)
+			b := e.buckets[lvl][i]
+			for k := range b {
+				b[k] = event{}
+			}
+			e.buckets[lvl][i] = b[:0]
+		}
+		e.occ[lvl] = 0
+	}
+	// Re-file in seq order, exactly like rewind: per-bucket FIFO order is
+	// then identical to having scheduled the shifted events fresh.
+	sort.Slice(all, func(a, b int) bool { return all[a].seq < all[b].seq })
+	e.now += d
+	e.cursor = e.now
+	for _, ev := range all {
+		ev.at += d
+		if ev.tfn != nil || ev.cb != nil {
+			ev.targ += d
+		}
+		e.wheelInsert(ev)
+	}
+	e.releaseScratch(all)
+}
+
+// FFAddCounters advances the engine's linear event counters by the given
+// analytic deltas (scheduled and fired), as if the skipped repetitions
+// had executed.
+func (e *Engine) FFAddCounters(dScheduled, dFired int64) {
+	if dScheduled < 0 || dFired < 0 {
+		panic("sim: negative fast-forward counter delta")
+	}
+	e.seq += dScheduled
+	e.nfired += dFired
+}
+
+// collectPending copies every pending event (staged batch remainder plus
+// the wheel) into the reusable scratch slice, in no particular order.
+func (e *Engine) collectPending() []event {
+	all := e.ffScratch[:0]
+	all = append(all, e.cur[e.curHead:]...)
+	for lvl := 0; lvl < wheelLevels; lvl++ {
+		m := e.occ[lvl]
+		for m != 0 {
+			i := bits.TrailingZeros64(m)
+			m &^= 1 << uint(i)
+			all = append(all, e.buckets[lvl][i]...)
+		}
+	}
+	return all
+}
+
+// releaseScratch drops the callback references held by a collectPending
+// copy and retains the backing array for the next walk.
+func (e *Engine) releaseScratch(all []event) {
+	for i := range all {
+		all[i] = event{}
+	}
+	e.ffScratch = all[:0]
+}

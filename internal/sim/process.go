@@ -17,6 +17,8 @@ type Process struct {
 	yield  chan struct{} // process -> engine
 	done   bool
 	err    interface{} // panic value from the body, if any
+	wake   *WakeRecord // lazily built reusable wake target (see WaitCallee)
+	note   string      // current park-site label (see SetNote)
 }
 
 // Spawn starts fn as a process at the current simulated time. fn receives
@@ -117,6 +119,55 @@ func (p *Process) WaitFunc(arm func(wake func())) {
 	})
 	p.park()
 }
+
+// WakeRecord is a process's reusable one-shot wake target: the Callee
+// counterpart of the closure WaitFunc hands out. Each process owns at most
+// one record, re-armed on every WaitCallee, so blocking on a Callee-based
+// subscription never allocates — and, unlike a closure, the record
+// identifies its process, which lets state inspection (the fast-forward
+// digest) classify a pending wake event instead of treating it as opaque.
+type WakeRecord struct {
+	p     *Process
+	armed bool
+}
+
+// Process returns the process this record wakes.
+func (w *WakeRecord) Process() *Process { return w.p }
+
+// Call wakes the parked process. Firing an unarmed record panics, the
+// WaitFunc double-wake discipline.
+func (w *WakeRecord) Call(Time) {
+	if !w.armed {
+		panic("sim: WakeRecord fired while unarmed")
+	}
+	w.armed = false
+	w.p.eng.scheduleProc(0, w.p)
+}
+
+// WaitCallee blocks the process until the handed Callee is called. It is
+// WaitFunc with a reusable wake record instead of a fresh closure: arm
+// registers the record with exactly one subscriber, which must Call it
+// exactly once from an engine event.
+func (p *Process) WaitCallee(arm func(cb Callee)) {
+	if p.wake == nil {
+		p.wake = &WakeRecord{p: p}
+	}
+	if p.wake.armed {
+		panic("sim: WaitCallee while already armed")
+	}
+	p.wake.armed = true
+	arm(p.wake)
+	p.park()
+}
+
+// SetNote labels the process's current program position. Model code sets
+// it before blocking so that inspection (watchdog diagnostics, the
+// fast-forward digest) can tell park sites apart; the label persists until
+// the next SetNote.
+func (p *Process) SetNote(n string) { p.note = n }
+
+// Note returns the label set by SetNote.
+func (p *Process) Note() string { return p.note }
 
 // waiter is one Signal subscriber: either a plain callback or a pre-bound
 // process activation (which avoids materializing a method-value closure

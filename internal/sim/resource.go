@@ -19,6 +19,16 @@ type serverReq struct {
 // NewServer returns an idle server bound to eng.
 func NewServer(eng *Engine) *Server { return &Server{eng: eng} }
 
+// Reset returns the server to its idle NewServer state, keeping the queue
+// slice's capacity. Part of the warm-system recycling path; the caller
+// guarantees no service-completion event is still pending on the engine.
+func (s *Server) Reset() {
+	s.busyUntil = 0
+	clear(s.queue)
+	s.queue = s.queue[:0]
+	s.inService = false
+}
+
 // BusyUntil returns the time the server becomes free given current
 // reservations.
 func (s *Server) BusyUntil() Time { return s.busyUntil }
@@ -80,6 +90,13 @@ type TokenBucket struct {
 // NewTokenBucket returns a bucket granting one token per interval cycles.
 func NewTokenBucket(eng *Engine, interval Time) *TokenBucket {
 	return &TokenBucket{eng: eng, interval: interval}
+}
+
+// Reset re-arms the bucket as NewTokenBucket(eng, interval) would,
+// for warm-system recycling.
+func (b *TokenBucket) Reset(interval Time) {
+	b.interval = interval
+	b.nextFree = 0
 }
 
 // Take reserves the next token at or after earliest and returns its grant

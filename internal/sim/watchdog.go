@@ -72,6 +72,25 @@ func (e *Engine) OnDiagnostic(fn func() []string) {
 	e.diags = append(e.diags, fn)
 }
 
+// OnLiveness registers fn to report still-blocked model actors that are
+// not spawned processes — event-driven kernels (state machines) that the
+// process registry cannot see. fn returns one name per unfinished actor;
+// the watchdog treats them exactly like stuck processes: the run fails
+// with a DeadlockError if the queue drains while any remain.
+func (e *Engine) OnLiveness(fn func() []string) {
+	e.liveness = append(e.liveness, fn)
+}
+
+// stuckActors returns every unfinished actor: blocked spawned processes
+// plus whatever the registered liveness reporters contribute.
+func (e *Engine) stuckActors() []string {
+	stuck := e.StuckProcesses()
+	for _, fn := range e.liveness {
+		stuck = append(stuck, fn()...)
+	}
+	return stuck
+}
+
 // StuckProcesses returns the names of spawned processes whose bodies have
 // not returned, in spawn order.
 func (e *Engine) StuckProcesses() []string {
@@ -115,7 +134,7 @@ func (e *Engine) deadlock(reason string) *DeadlockError {
 		Cycle:   e.now,
 		Pending: e.Pending(),
 		Fired:   e.nfired,
-		Stuck:   e.StuckProcesses(),
+		Stuck:   e.stuckActors(),
 	}
 	for _, fn := range e.diags {
 		err.Detail = append(err.Detail, fn()...)
@@ -134,7 +153,7 @@ func (e *Engine) RunChecked(maxCycles Time) error {
 		}
 		e.Step()
 	}
-	if len(e.StuckProcesses()) > 0 {
+	if len(e.stuckActors()) > 0 {
 		return e.deadlock("deadlock: event queue drained with processes still blocked")
 	}
 	return nil

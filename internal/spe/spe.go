@@ -91,21 +91,35 @@ type SPE struct {
 	// Signal notification registers (OR mode).
 	snrs   [2]snr
 	sigSeq int
+
+	// Dirty span of ls: every byte outside [dirtyLo, dirtyHi) is
+	// guaranteed zero. Writers widen it (see Taint); recycling a buffer
+	// zeroes only the span instead of the whole 256 KiB store, which is
+	// what makes per-grid-point system reuse cheap in sweeps — a pair
+	// kernel at small chunk sizes dirties a fraction of the store.
+	dirtyLo, dirtyHi int
+}
+
+// lsSlab is a pooled local-store buffer together with the dirty span its
+// previous owner accumulated, so reuse zeroes only what was written.
+type lsSlab struct {
+	b      []byte
+	lo, hi int
 }
 
 // lsPool recycles local-store buffers across SPE lifetimes. A sweep builds
 // and discards a full system per grid point, and at 256 KiB per SPE the
 // stores dominate its allocation volume (and with it, GC frequency);
-// recycling trades that for a memclr of the reused buffer.
+// recycling trades that for a memclr of the reused buffer's dirty span.
 var lsPool sync.Pool
 
 func newLS() []byte {
 	if v := lsPool.Get(); v != nil {
-		ls := v.([]byte)
-		for i := range ls {
-			ls[i] = 0
+		slab := v.(*lsSlab)
+		if slab.lo < slab.hi {
+			clear(slab.b[slab.lo:slab.hi])
 		}
-		return ls
+		return slab.b
 	}
 	return make([]byte, LocalStoreBytes)
 }
@@ -115,7 +129,7 @@ func newLS() []byte {
 // will touch it afterwards.
 func (s *SPE) Release() {
 	if s.ls != nil {
-		lsPool.Put(s.ls)
+		lsPool.Put(&lsSlab{b: s.ls, lo: s.dirtyLo, hi: s.dirtyHi})
 		s.ls = nil
 	}
 }
@@ -124,16 +138,53 @@ func (s *SPE) Release() {
 // package); mfcCfg configures the DMA engine.
 func New(eng *sim.Engine, index int, ramp eib.RampID, fabric mfc.Fabric, cfg Config, mfcCfg mfc.Config) *SPE {
 	s := &SPE{
-		eng:   eng,
-		cfg:   cfg,
-		index: index,
-		ramp:  ramp,
-		ls:    newLS(),
+		eng:     eng,
+		cfg:     cfg,
+		index:   index,
+		ramp:    ramp,
+		ls:      newLS(),
+		dirtyLo: LocalStoreBytes,
 	}
 	s.dma = mfc.New(eng, fabric, s.ls, mfcCfg)
+	s.dma.SetLSTaint(s.Taint)
 	s.Inbox = NewMailbox(eng, 4)
 	s.Outbox = NewMailbox(eng, 1)
 	return s
+}
+
+// Reset returns the SPE to the state New would build for the given
+// binding, keeping the engine, the logical index, the local store buffer
+// (re-zeroing only its dirty span) and the MFC record. It exists for
+// warm-system recycling: a reset SPE must be observationally identical to
+// a fresh one.
+func (s *SPE) Reset(ramp eib.RampID, fabric mfc.Fabric, cfg Config, mfcCfg mfc.Config) {
+	s.cfg = cfg
+	s.ramp = ramp
+	if s.ls == nil {
+		s.ls = newLS()
+	} else if s.dirtyLo < s.dirtyHi {
+		clear(s.ls[s.dirtyLo:s.dirtyHi])
+	}
+	s.dirtyLo, s.dirtyHi = LocalStoreBytes, 0
+	s.dma.Reset(fabric, s.ls, mfcCfg)
+	s.dma.SetLSTaint(s.Taint)
+	s.Inbox.Reset(s.eng)
+	s.Outbox.Reset(s.eng)
+	s.snrs = [2]snr{}
+	s.sigSeq = 0
+}
+
+// Taint records that [lo, hi) of the local store may now hold non-zero
+// bytes. Every write path into the store must pass through it (or through
+// LS/LSWrite, which call it); a missed taint would let a recycled buffer
+// leak stale bytes into the next run.
+func (s *SPE) Taint(lo, hi int) {
+	if lo < s.dirtyLo {
+		s.dirtyLo = lo
+	}
+	if hi > s.dirtyHi {
+		s.dirtyHi = hi
+	}
 }
 
 // Index returns the SPE's logical index.
@@ -142,12 +193,37 @@ func (s *SPE) Index() int { return s.index }
 // Ramp returns the SPE's physical position on the EIB.
 func (s *SPE) Ramp() eib.RampID { return s.ramp }
 
-// LS returns the local store contents.
-func (s *SPE) LS() []byte { return s.ls }
+// LS returns the local store contents. The caller may write through the
+// returned slice, so the whole store is conservatively marked dirty; the
+// packet hot path uses LSRead/LSWrite instead to keep the span tight.
+func (s *SPE) LS() []byte {
+	s.Taint(0, LocalStoreBytes)
+	return s.ls
+}
+
+// LSRead returns [off, off+n) of the local store for reading only.
+func (s *SPE) LSRead(off, n int) []byte { return s.ls[off : off+n] }
+
+// LSWrite returns [off, off+n) of the local store for writing, marking
+// exactly that span dirty.
+func (s *SPE) LSWrite(off, n int) []byte {
+	s.Taint(off, off+n)
+	return s.ls[off : off+n]
+}
 
 // MFC returns the SPE's memory flow controller (for proxy commands and
 // statistics).
 func (s *SPE) MFC() *mfc.MFC { return s.dma }
+
+// DMAIssueCycles returns the channel-write cycles charged to program one
+// DMA command (target address, EA high/low, size, tag, opcode).
+func (s *SPE) DMAIssueCycles() sim.Time {
+	return sim.Time(s.cfg.DMAIssueChannels) * s.cfg.ChannelCycles
+}
+
+// TagStatusCycles returns the channel cycles charged to request and read
+// tag-group completion status (MFC_WriteTagUpdateRequest + read).
+func (s *SPE) TagStatusCycles() sim.Time { return 2 * s.cfg.ChannelCycles }
 
 // Run spawns fn as the SPU program of this SPE.
 func (s *SPE) Run(name string, fn func(ctx *Context)) *sim.Process {
@@ -173,7 +249,7 @@ func (c *Context) Decrementer() sim.Time { return c.Now() }
 
 // issueCost charges the channel writes needed to program one DMA command.
 func (c *Context) issueCost() {
-	c.Wait(sim.Time(c.spe.cfg.DMAIssueChannels) * c.spe.cfg.ChannelCycles)
+	c.Wait(c.spe.DMAIssueCycles())
 }
 
 // CommandError is the typed panic value raised when an SPU program
@@ -194,6 +270,7 @@ func (e *CommandError) Unwrap() error { return e.Err }
 // stalls while the command queue is full), then returns; completion is
 // tracked by the command's tag group.
 func (c *Context) enqueue(cmd mfc.Cmd) {
+	c.SetNote("dma-issue")
 	c.issueCost()
 	for {
 		err := c.spe.dma.Enqueue(cmd, nil)
@@ -203,7 +280,8 @@ func (c *Context) enqueue(cmd mfc.Cmd) {
 		if err != mfc.ErrQueueFull {
 			panic(&CommandError{SPE: c.spe.index, Err: err})
 		}
-		c.WaitFunc(c.spe.dma.OnSpace)
+		c.SetNote("dma-qfull")
+		c.WaitCallee(c.spe.dma.OnSpaceCB)
 	}
 }
 
@@ -254,11 +332,13 @@ func (c *Context) WaitTag(t int) { c.WaitTagMask(1 << uint(t)) }
 // WaitTagMask blocks until all tag groups in mask are idle (the
 // MFC_WriteTagMask + MFC_WriteTagUpdateRequest + read-status sequence).
 func (c *Context) WaitTagMask(mask uint32) {
-	c.Wait(2 * c.spe.cfg.ChannelCycles)
+	c.SetNote("tag-channel")
+	c.Wait(c.spe.TagStatusCycles())
 	if c.spe.dma.TagsComplete(mask) {
 		return
 	}
-	c.WaitFunc(func(wake func()) { c.spe.dma.WaitTags(mask, wake) })
+	c.SetNote("tag-wait")
+	c.WaitCallee(func(cb sim.Callee) { c.spe.dma.WaitTagsCB(mask, cb) })
 }
 
 // LSOp selects a local store streaming operation.
@@ -309,6 +389,17 @@ type Mailbox struct {
 // NewMailbox returns a mailbox holding up to capacity entries.
 func NewMailbox(eng *sim.Engine, capacity int) *Mailbox {
 	return &Mailbox{eng: eng, cap: capacity}
+}
+
+// Reset empties the mailbox and drops any parked readers and writers,
+// reusing the queue and waiter backings for the next run.
+func (m *Mailbox) Reset(eng *sim.Engine) {
+	m.eng = eng
+	m.queue = m.queue[:0]
+	clear(m.readers)
+	m.readers = m.readers[:0]
+	clear(m.writers)
+	m.writers = m.writers[:0]
 }
 
 // Len returns the number of queued messages.

@@ -18,7 +18,7 @@ type loopFabric struct {
 	lat sim.Time
 }
 
-func (f *loopFabric) ReadEA(ea int64, n int, earliest sim.Time, dst []byte, done func(end sim.Time)) {
+func (f *loopFabric) ReadEA(ea int64, n int, earliest sim.Time, dst []byte, done sim.Callee) {
 	start := earliest
 	if now := f.eng.Now(); start < now {
 		start = now
@@ -26,11 +26,11 @@ func (f *loopFabric) ReadEA(ea int64, n int, earliest sim.Time, dst []byte, done
 	end := start + f.lat
 	f.eng.At(end, func() {
 		copy(dst, f.mem[ea:ea+int64(n)])
-		done(end)
+		done.Call(end)
 	})
 }
 
-func (f *loopFabric) WriteEA(ea int64, n int, earliest sim.Time, src []byte, done func(end sim.Time)) {
+func (f *loopFabric) WriteEA(ea int64, n int, earliest sim.Time, src []byte, done sim.Callee) {
 	start := earliest
 	if now := f.eng.Now(); start < now {
 		start = now
@@ -38,7 +38,7 @@ func (f *loopFabric) WriteEA(ea int64, n int, earliest sim.Time, src []byte, don
 	end := start + f.lat
 	f.eng.At(end, func() {
 		copy(f.mem[ea:ea+int64(n)], src)
-		done(end)
+		done.Call(end)
 	})
 }
 

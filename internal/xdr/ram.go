@@ -22,6 +22,12 @@ func NewRAM(total, pageSize int64) *RAM {
 // Size returns the address-space size in bytes.
 func (r *RAM) Size() int64 { return r.total }
 
+// Reset drops every materialized page, so all memory reads as zero again.
+// The map is retained (emptied) for reuse.
+func (r *RAM) Reset() {
+	clear(r.pages)
+}
+
 // TouchedPages returns how many pages have been materialized.
 func (r *RAM) TouchedPages() int { return len(r.pages) }
 

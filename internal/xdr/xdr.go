@@ -172,6 +172,35 @@ func (m *Memory) SetPerf(pc *perfctr.Counters) {
 	}
 }
 
+// Reset returns the memory system to the state New(eng, bus, cfg) would
+// build, keeping both banks' server records (with their queue capacity)
+// and the RAM's page map. Attachments (faults, tracer, perf) are cleared
+// as on a fresh Memory; the assembling layer rewires them. Part of the
+// warm-system recycling path.
+func (m *Memory) Reset(cfg Config) {
+	if cfg.TotalBytes != m.cfg.TotalBytes || cfg.PageBytes != m.cfg.PageBytes {
+		m.ram = NewRAM(cfg.TotalBytes, cfg.PageBytes)
+	} else {
+		m.ram.Reset()
+	}
+	m.cfg = cfg
+	for i, b := range m.banks {
+		b.srv.Reset()
+		b.lastOp = 0
+		b.faults = nil
+		b.tracer = nil
+		b.track = 0
+		if i == 0 {
+			b.service = cfg.LocalServiceCycles
+		} else {
+			b.service = cfg.RemoteServiceCycles
+		}
+		b.nextRefresh, b.nextNoise = 0, 0
+		b.perf = nil
+		b.stats = BankStats{}
+	}
+}
+
 // New builds the memory system on the given bus.
 func New(eng *sim.Engine, bus *eib.EIB, cfg Config) *Memory {
 	m := &Memory{eng: eng, bus: bus, cfg: cfg, ram: NewRAM(cfg.TotalBytes, cfg.PageBytes)}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package cellbe
+
+const raceEnabled = false

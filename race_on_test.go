@@ -1,0 +1,8 @@
+//go:build race
+
+package cellbe
+
+// raceEnabled reports whether the race detector is compiled in, so
+// timed assertions can skip themselves (the sanitizer's ~10x slowdown
+// would fail any honest throughput band).
+const raceEnabled = true
