@@ -66,9 +66,9 @@ func main() {
 		conformShort = flag.Bool("conformance-short", false, "with -conformance: only the quick core-physics subset")
 		conformDoc   = flag.Bool("conformance-doc", false, "print EXPERIMENTS.md regenerated from the conformance claims and exit")
 
-		sweep   = flag.String("sweep", "", "sweep a scenario (pair, couples, cycle, or mem) over seeds x chunks")
+		sweep   = flag.String("sweep", "", "sweep a scenario (pair, couples, cycle, mem, or a workload: gups, qcd, md, stream) over seeds x chunks")
 		spes    = flag.Int("spes", 8, "sweep: number of SPEs involved")
-		op      = flag.String("op", "get", "sweep: mem scenario operation (get, put, or copy)")
+		op      = flag.String("op", "", "sweep: scenario operation — mem get/put/copy, gups get/put/both, stream copy/scale/add/triad (empty = kind default)")
 		dmalist = flag.Bool("dmalist", false, "sweep: use the DMA-list kernel variant (GETL/PUTL)")
 		chunks  = flag.String("chunks", "1024,4096,16384", "sweep: comma-separated DMA element sizes")
 		seeds   = flag.Int("seeds", 10, "sweep: number of layout seeds (starting at -seed)")

@@ -9,6 +9,9 @@
 //	cellsim -scenario cycle -spes 8
 //	cellsim -scenario mem -spes 4 -op copy
 //	cellsim -scenario mem -spes 4 -perf -perf-every 50000
+//	cellsim -scenario gups -spes 8 -chunk 64 -volume 65536
+//	cellsim -scenario stream -op triad -spes 8 -chunk 16384
+//	cellsim -scenario qcd -spes 8 -chunk 4096 -ring 1
 //	cellsim -scenario cycle -spes 8 -faults mfc-retry:0.01,xdr-stall:0.05 -fault-seed 7
 //	cellsim -scenario wedge -spes 4 -max-cycles 100000
 package main
@@ -32,10 +35,11 @@ import (
 
 func main() {
 	var (
-		scenario = flag.String("scenario", "pair", "pair, couples, cycle, mem, or wedge")
+		scenario = flag.String("scenario", "pair", "pair, couples, cycle, mem, wedge, or a workload: gups, qcd, md, stream")
 		spes     = flag.Int("spes", 2, "number of SPEs involved")
-		chunk    = flag.Int("chunk", 16384, "DMA element size in bytes")
-		op       = flag.String("op", "get", "mem scenario operation: get, put, or copy")
+		chunk    = flag.Int("chunk", 16384, "DMA element size in bytes (gups takes 8..128)")
+		op       = flag.String("op", "", "scenario operation: mem get/put/copy, gups get/put/both, stream copy/scale/add/triad (empty = kind default)")
+		ring     = flag.Int("ring", 0, "qcd halo-exchange neighbour distance (0 = nearest neighbour)")
 		dmalist  = flag.Bool("dmalist", false, "use the DMA-list kernel variant (GETL/PUTL)")
 		volume   = flag.Int64("volume", 2<<20, "bytes per SPE")
 		seed     = flag.Int64("seed", 0, "layout seed (0 = identity)")
@@ -155,7 +159,7 @@ func main() {
 		// scheduler.
 		sys = cell.New(cfg)
 		instrument(sys)
-		sc := cell.Scenario{Kind: *scenario, SPEs: *spes, Chunk: *chunk, Volume: *volume, Op: *op, List: *dmalist}
+		sc := cell.Scenario{Kind: *scenario, SPEs: *spes, Chunk: *chunk, Volume: *volume, Op: *op, List: *dmalist, Ring: *ring}.WithDefaultOp()
 		totalBytes, err := sc.Install(sys)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cellsim: %v\n", err)
@@ -182,6 +186,7 @@ func main() {
 			SPEs:      *spes,
 			Op:        *op,
 			List:      *dmalist,
+			Ring:      *ring,
 			Chunks:    []int{*chunk},
 			Seeds:     []int64{*seed},
 			Volume:    *volume,

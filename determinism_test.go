@@ -64,6 +64,34 @@ func TestSchedulerDeterminism(t *testing.T) {
 			seed:   3,
 			golden: "now=381396 transfers=32768 local=0 bytes=4194304 cmds=32768 busy=[162544 42256 200400 119088] wait=5703795 rampBytes=[0 0 0 0 0 0 1245184 0 0 0 0 2949120] dir=[12800 19968]",
 		},
+		// The four workload presets run on the pattern interpreter; their
+		// address streams (seeded-random GUPS slots, the QCD halo ring, the
+		// MD gather/scatter) add randomness sources of their own, all of
+		// which must fold into the same reproducibility contract.
+		{
+			name:   "gups",
+			sc:     cell.Scenario{Kind: "gups", SPEs: 8, Chunk: 64, Volume: 128 << 10, Op: "both"},
+			seed:   3,
+			golden: "now=403244 transfers=32768 local=0 bytes=2097152 cmds=32768 busy=[82504 48568 81744 49328] wait=209045 rampBytes=[0 131072 131072 131072 131072 0 314432 131072 131072 131072 131072 734144] dir=[16384 16384]",
+		},
+		{
+			name:   "qcd",
+			sc:     cell.Scenario{Kind: "qcd", SPEs: 8, Chunk: 4096, Volume: volume},
+			seed:   3,
+			golden: "now=1717138 transfers=133120 local=0 bytes=17039360 cmds=133120 busy=[823744 233024 833712 239440] wait=12633082 rampBytes=[0 1081344 1081344 1081344 1081344 0 2490368 1081344 1081344 1081344 1081344 5898240] dir=[66048 67072]",
+		},
+		{
+			name:   "md",
+			sc:     cell.Scenario{Kind: "md", SPEs: 8, Chunk: 512, Volume: volume},
+			seed:   3,
+			golden: "now=883020 transfers=65536 local=0 bytes=8388608 cmds=65536 busy=[313232 210608 313648 211088] wait=15626098 rampBytes=[0 524288 524288 524288 524288 0 1244160 524288 524288 524288 524288 2950144] dir=[32740 32796]",
+		},
+		{
+			name:   "stream",
+			sc:     cell.Scenario{Kind: "stream", SPEs: 8, Chunk: 16384, Volume: volume, Op: "triad"},
+			seed:   3,
+			golden: "now=2394336 transfers=196608 local=0 bytes=25165824 cmds=196608 busy=[989232 583632 1006736 566128] wait=11040159 rampBytes=[0 1048576 1048576 1048576 1048576 0 4980736 1048576 1048576 1048576 1048576 11796480] dir=[98304 98304]",
+		},
 	}
 	for _, tc := range cases {
 		tc := tc

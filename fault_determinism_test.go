@@ -80,6 +80,28 @@ func TestFaultInjectionDeterminism(t *testing.T) {
 			sc:     cell.Scenario{Kind: "mem", SPEs: 4, Chunk: 16384, Volume: volume, Op: "get"},
 			golden: "now=582690 transfers=32768 bytes=4194304 cmds=32768 wait=1521214 retries=340 stalls=1623 slow=644 outages=614 late=679",
 		},
+		// Workload presets: the fault stream and the workloads' own seeded
+		// address streams must not interfere — both stay reproducible.
+		{
+			name:   "gups",
+			sc:     cell.Scenario{Kind: "gups", SPEs: 8, Chunk: 64, Volume: 128 << 10, Op: "both"},
+			golden: "now=607958 transfers=32768 bytes=2097152 cmds=32768 wait=153871 retries=336 stalls=1601 slow=659 outages=656 late=628",
+		},
+		{
+			name:   "qcd",
+			sc:     cell.Scenario{Kind: "qcd", SPEs: 8, Chunk: 4096, Volume: volume},
+			golden: "now=2495588 transfers=133120 bytes=17039360 cmds=133120 wait=2492123 retries=1370 stalls=6496 slow=2649 outages=2602 late=2672",
+		},
+		{
+			name:   "md",
+			sc:     cell.Scenario{Kind: "md", SPEs: 8, Chunk: 512, Volume: volume},
+			golden: "now=1232019 transfers=65536 bytes=8388608 cmds=65536 wait=2421842 retries=627 stalls=3259 slow=1289 outages=1304 late=1333",
+		},
+		{
+			name:   "stream",
+			sc:     cell.Scenario{Kind: "stream", SPEs: 8, Chunk: 16384, Volume: volume, Op: "triad"},
+			golden: "now=3664750 transfers=196608 bytes=25165824 cmds=196608 wait=2554504 retries=1983 stalls=9893 slow=3896 outages=3926 late=3952",
+		},
 	}
 	for _, tc := range cases {
 		tc := tc

@@ -5,11 +5,12 @@ import (
 	"testing"
 )
 
-// fuzzKinds maps the raw fuzz byte onto scenario kinds, including an
-// out-of-vocabulary name so the unknown-kind rejection stays covered.
-var fuzzKinds = []string{"pair", "couples", "cycle", "mem", "wedge", "bogus", ""}
+// fuzzKinds maps the raw fuzz byte onto scenario kinds — the canonical
+// kinds, the workload library, and an out-of-vocabulary name so the
+// unknown-kind rejection stays covered.
+var fuzzKinds = []string{"pair", "couples", "cycle", "mem", "wedge", "gups", "qcd", "md", "stream", "bogus", ""}
 
-var fuzzOps = []string{"get", "put", "copy", "scan", ""}
+var fuzzOps = []string{"get", "put", "copy", "both", "scale", "add", "triad", "scan", ""}
 
 // FuzzScenarioConfig throws arbitrary scenario shapes at the
 // user-reachable configuration surface and asserts the robustness
@@ -20,19 +21,31 @@ var fuzzOps = []string{"get", "put", "copy", "scan", ""}
 // configuration may deadlock. Volumes are clamped so the executable
 // half stays cheap enough for a CI fuzz smoke.
 func FuzzScenarioConfig(f *testing.F) {
-	f.Add(uint8(0), 2, 16384, int64(64<<10), uint8(0), false) // valid pair
-	f.Add(uint8(1), 4, 2048, int64(32<<10), uint8(0), true)   // valid couples, lists
-	f.Add(uint8(2), 3, 128, int64(4<<10), uint8(0), false)    // valid 3-cycle
-	f.Add(uint8(3), 1, 4096, int64(64<<10), uint8(1), false)  // valid mem put
-	f.Add(uint8(3), 2, 1024, int64(16<<10), uint8(2), true)   // mem copy + list: reject
-	f.Add(uint8(1), 3, 2048, int64(32<<10), uint8(0), false)  // odd couples: reject
-	f.Add(uint8(0), 2, 24, int64(1<<10), uint8(0), false)     // 24-byte chunk: reject
-	f.Add(uint8(0), 2, 32768, int64(64<<10), uint8(0), false) // oversize chunk: reject
-	f.Add(uint8(2), 9, 128, int64(1<<10), uint8(0), false)    // too many SPEs: reject
-	f.Add(uint8(5), 2, 128, int64(1<<10), uint8(0), false)    // unknown kind: reject
-	f.Add(uint8(3), 1, 128, int64(-16), uint8(3), false)      // bad volume and op
+	f.Add(uint8(0), 2, 16384, int64(64<<10), uint8(0), false, 0, uint8(0)) // valid pair
+	f.Add(uint8(1), 4, 2048, int64(32<<10), uint8(0), true, 0, uint8(0))   // valid couples, lists
+	f.Add(uint8(2), 3, 128, int64(4<<10), uint8(0), false, 0, uint8(0))    // valid 3-cycle
+	f.Add(uint8(3), 1, 4096, int64(64<<10), uint8(1), false, 0, uint8(0))  // valid mem put
+	f.Add(uint8(3), 2, 1024, int64(16<<10), uint8(2), true, 0, uint8(0))   // mem copy + list: reject
+	f.Add(uint8(1), 3, 2048, int64(32<<10), uint8(0), false, 0, uint8(0))  // odd couples: reject
+	f.Add(uint8(0), 2, 24, int64(1<<10), uint8(0), false, 0, uint8(0))     // 24-byte chunk: reject
+	f.Add(uint8(0), 2, 32768, int64(64<<10), uint8(0), false, 0, uint8(0)) // oversize chunk: reject
+	f.Add(uint8(2), 9, 128, int64(1<<10), uint8(0), false, 0, uint8(0))    // too many SPEs: reject
+	f.Add(uint8(9), 2, 128, int64(1<<10), uint8(0), false, 0, uint8(0))    // unknown kind: reject
+	f.Add(uint8(3), 1, 128, int64(-16), uint8(3), false, 0, uint8(0))      // bad volume and op
+	f.Add(uint8(5), 8, 8, int64(2<<10), uint8(3), false, 0, uint8(0))      // valid gups, 8-byte elements
+	f.Add(uint8(5), 4, 64, int64(1<<10), uint8(0), false, 0, uint8(1))     // valid gups get + pinned seeds
+	f.Add(uint8(5), 4, 256, int64(1<<10), uint8(3), false, 0, uint8(0))    // gups chunk over 128: reject
+	f.Add(uint8(6), 8, 4096, int64(64<<10), uint8(8), false, 1, uint8(0))  // valid qcd ring
+	f.Add(uint8(6), 1, 4096, int64(64<<10), uint8(8), false, 0, uint8(0))  // 1-SPE qcd ring: reject
+	f.Add(uint8(6), 4, 1024, int64(32<<10), uint8(8), false, 5, uint8(0))  // ring step past SPEs: reject
+	f.Add(uint8(7), 4, 512, int64(16<<10), uint8(8), false, 0, uint8(0))   // valid md
+	f.Add(uint8(8), 8, 16384, int64(64<<10), uint8(6), false, 0, uint8(0)) // valid stream triad
+	f.Add(uint8(8), 8, 16384, int64(64<<10), uint8(0), false, 0, uint8(0)) // stream get: reject
+	f.Add(uint8(8), 2, 4096, int64(32<<10), uint8(8), true, 0, uint8(0))   // stream + list: reject
+	f.Add(uint8(0), 2, 16384, int64(64<<10), uint8(0), false, 2, uint8(0)) // ring knob on pair: reject
+	f.Add(uint8(3), 4, 4096, int64(32<<10), uint8(0), false, 0, uint8(2))  // addr seeds on mem: reject
 
-	f.Fuzz(func(t *testing.T, kindRaw uint8, spes, chunk int, volume int64, opRaw uint8, list bool) {
+	f.Fuzz(func(t *testing.T, kindRaw uint8, spes, chunk int, volume int64, opRaw uint8, list bool, ring int, seedSel uint8) {
 		sc := Scenario{
 			Kind:   fuzzKinds[int(kindRaw)%len(fuzzKinds)],
 			SPEs:   spes,
@@ -40,6 +53,21 @@ func FuzzScenarioConfig(f *testing.F) {
 			Volume: volume,
 			Op:     fuzzOps[int(opRaw)%len(fuzzOps)],
 			List:   list,
+			Ring:   ring,
+		}
+		// seedSel exercises the AddrSeeds surface: 0 leaves them nil, 1
+		// pins one seed per SPE (valid for workload kinds when the SPE
+		// count is in range), anything else deliberately mismatches the
+		// length so the rejection stays covered.
+		if seedSel != 0 && spes > 0 && spes <= NumSPEs {
+			n := spes
+			if seedSel > 1 {
+				n = spes + 1
+			}
+			sc.AddrSeeds = make([]int64, n)
+			for i := range sc.AddrSeeds {
+				sc.AddrSeeds[i] = int64(seedSel) + int64(i)
+			}
 		}
 		err := sc.Validate()
 		if err != nil {
@@ -68,6 +96,95 @@ func FuzzScenarioConfig(f *testing.F) {
 		}
 		if err := sys.RunChecked(50_000_000); err != nil {
 			t.Fatalf("validated scenario %+v failed to run: %v", sc, err)
+		}
+	})
+}
+
+var fuzzAccesses = []string{"seq", "stride", "rand", "ring", "compute", "bogus", ""}
+var fuzzPhaseOps = []string{"get", "put", "both", "scan", ""}
+
+// FuzzPatternConfig drives the explicit phase-program surface (scenario
+// kind "pattern", the layer under the workload presets) with arbitrary
+// phase lists: the same contract as FuzzScenarioConfig — typed
+// rejections only, and every accepted program must interpret to
+// completion within a finite budget.
+func FuzzPatternConfig(f *testing.F) {
+	f.Add(2, 256, uint8(2), uint16(0x0010), uint16(0x0002), int64(4096), int64(1024), int64(500), 2, int64(64<<10), 0, false, uint8(0))
+	f.Add(4, 128, uint8(3), uint16(0x0432), uint16(0x0021), int64(1024), int64(256), int64(100), 1, int64(8<<10), 1, true, uint8(1))
+	f.Add(8, 16384, uint8(1), uint16(0x0003), uint16(0x0000), int64(16384), int64(0), int64(1), 1, int64(32<<10), 3, false, uint8(2))
+	f.Add(1, 8, uint8(1), uint16(0x0003), uint16(0x0000), int64(64), int64(0), int64(1), 1, int64(512), 0, false, uint8(0)) // 1-SPE ring: reject
+	f.Add(2, 100, uint8(1), uint16(0x0000), uint16(0x0000), int64(400), int64(0), int64(0), 1, int64(4<<10), 0, false, uint8(0))
+
+	f.Fuzz(func(t *testing.T, spes, chunk int, nPhases uint8, accessBits, opBits uint16, bytes, stride, cycles int64, reps int, region int64, ringStep int, shared bool, async uint8) {
+		n := int(nPhases % 5)
+		phases := make([]Phase, n)
+		for i := range phases {
+			ph := Phase{
+				Access: fuzzAccesses[int(accessBits>>(3*i))%len(fuzzAccesses)],
+				Op:     fuzzPhaseOps[int(opBits>>(3*i))%len(fuzzPhaseOps)],
+				Bytes:  bytes,
+				Async:  async&(1<<i) != 0,
+			}
+			switch ph.Access {
+			case "compute":
+				ph.Cycles, ph.Bytes = cycles, 0
+				ph.Op = ""
+			case "stride":
+				ph.Stride = stride
+			case "ring":
+				ph.Op = ""
+			}
+			phases[i] = ph
+		}
+		sc := Scenario{
+			Kind:  "pattern",
+			SPEs:  spes,
+			Chunk: chunk,
+			Pattern: &Pattern{
+				Phases: phases, Reps: reps, Region: region,
+				RingStep: ringStep, Shared: shared,
+			},
+		}
+		err := sc.Validate()
+		if err != nil {
+			if !errors.Is(err, ErrBadScenario) {
+				t.Fatalf("Validate(%+v) = %v: not a typed ErrBadScenario", sc, err)
+			}
+			return
+		}
+		// Clamp the accepted program to a cheap execution: a handful of
+		// elements per phase, two reps, a small region, bounded compute.
+		// Every clamp preserves validity (whole chunks, positive counts).
+		pat := *sc.Pattern
+		pat.Phases = append([]Phase(nil), pat.Phases...)
+		c := int64(sc.Chunk)
+		for i := range pat.Phases {
+			if ph := &pat.Phases[i]; ph.Access == "compute" {
+				if ph.Cycles > 10_000 {
+					ph.Cycles = 10_000
+				}
+			} else if max := c * 4; ph.Bytes > max {
+				ph.Bytes = max
+			}
+		}
+		if pat.Reps > 2 {
+			pat.Reps = 2
+		}
+		if max := c * 256; pat.Region > max {
+			pat.Region = max
+		}
+		sc.Pattern = &pat
+		sys := New(DefaultConfig())
+		defer sys.Release()
+		total, err := sc.Install(sys)
+		if err != nil {
+			t.Fatalf("validated pattern %+v failed to install: %v", sc, err)
+		}
+		if total <= 0 {
+			t.Fatalf("pattern %+v accounts for %d bytes", sc, total)
+		}
+		if err := sys.RunChecked(50_000_000); err != nil {
+			t.Fatalf("validated pattern %+v failed to run: %v", sc, err)
 		}
 	})
 }

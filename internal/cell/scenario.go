@@ -25,6 +25,11 @@ type Scenario struct {
 	// (every SPE streams against main memory). The extra kind "wedge" is
 	// a deliberately deadlocked scenario (every SPE blocks on a mailbox
 	// nobody writes) for exercising the simulation watchdog.
+	//
+	// The workload library adds "gups", "qcd", "md" and "stream" — named
+	// application workloads defined as data over the access-pattern
+	// layer — and "pattern", an explicit phase program via the Pattern
+	// field. See pattern.go.
 	Kind string
 	// SPEs is the number of SPEs involved (couples/cycle/mem; pair
 	// always uses SPE0 and SPE1).
@@ -40,6 +45,17 @@ type Scenario struct {
 	// list elements of Chunk bytes — the paper's Figures 12(b)/15(b)
 	// discipline. Not defined for the wedge scenario or the mem copy op.
 	List bool
+	// Ring is the neighbour distance of the qcd preset's halo-exchange
+	// ring (0 means 1, nearest neighbour). Only valid for kind "qcd".
+	Ring int `json:",omitempty"`
+	// AddrSeeds optionally pins the per-SPE address-stream seeds of
+	// seeded-random phases, one per active SPE. Nil derives fixed
+	// layout-independent lane seeds. Only valid for the workload-library
+	// kinds (gups, qcd, md, stream, pattern).
+	AddrSeeds []int64 `json:",omitempty"`
+	// Pattern is the explicit phase program of kind "pattern"; the named
+	// workload presets build theirs internally. See pattern.go.
+	Pattern *Pattern `json:",omitempty"`
 }
 
 // pairGetBase/pairPutBase split an SPE's local store into a receive and a
@@ -71,9 +87,17 @@ func pairSlots(chunk int) int {
 func (sc Scenario) Validate() error {
 	switch sc.Kind {
 	case "pair", "couples", "cycle", "mem":
+		if err := sc.rejectPatternKnobs(); err != nil {
+			return err
+		}
+	case "gups", "qcd", "md", "stream", "pattern":
+		return sc.validatePattern()
 	case "wedge":
 		// The watchdog-test scenario moves no data; only the SPE count
 		// matters.
+		if err := sc.rejectPatternKnobs(); err != nil {
+			return err
+		}
 		if sc.List {
 			return fmt.Errorf("cell: %w: the wedge scenario has no DMA-list variant", ErrBadScenario)
 		}
@@ -82,7 +106,7 @@ func (sc Scenario) Validate() error {
 		}
 		return nil
 	default:
-		return fmt.Errorf("cell: %w: unknown scenario %q (want pair, couples, cycle, mem or wedge)", ErrBadScenario, sc.Kind)
+		return fmt.Errorf("cell: %w: unknown scenario %q (want pair, couples, cycle, mem, wedge, gups, qcd, md, stream or pattern)", ErrBadScenario, sc.Kind)
 	}
 	if sc.Chunk < 16 || sc.Chunk%16 != 0 {
 		return fmt.Errorf("cell: %w: chunk %d must be a multiple of 16 bytes", ErrBadScenario, sc.Chunk)
@@ -119,6 +143,22 @@ func (sc Scenario) Validate() error {
 		if sc.List && sc.Op == "copy" {
 			return fmt.Errorf("cell: %w: the mem copy op has no DMA-list variant", ErrBadScenario)
 		}
+	}
+	return nil
+}
+
+// rejectPatternKnobs guards the canonical kinds against workload-library
+// fields leaking in: a ring step, explicit address seeds or a phase
+// program on a pair/mem-family scenario is a configuration error, not
+// something to silently ignore.
+func (sc Scenario) rejectPatternKnobs() error {
+	switch {
+	case sc.Ring != 0:
+		return fmt.Errorf("cell: %w: ring step is a workload-library knob, not valid for kind %q", ErrBadScenario, sc.Kind)
+	case sc.AddrSeeds != nil:
+		return fmt.Errorf("cell: %w: address-stream seeds are a workload-library knob, not valid for kind %q", ErrBadScenario, sc.Kind)
+	case sc.Pattern != nil:
+		return fmt.Errorf("cell: %w: an explicit phase program needs kind \"pattern\", not %q", ErrBadScenario, sc.Kind)
 	}
 	return nil
 }
@@ -218,6 +258,12 @@ func (sc Scenario) Install(sys *System) (int64, error) {
 		})
 	}
 	switch sc.Kind {
+	case "gups", "qcd", "md", "stream", "pattern":
+		// The whole workload library shares this one arm: the phase
+		// program (preset or explicit) runs on the generic interpreter.
+		if err := sc.installPattern(sys, spawn); err != nil {
+			return 0, err
+		}
 	case "pair":
 		pairKernel(0, 1)
 	case "couples":

@@ -56,6 +56,13 @@ func (s *System) Snapshot() (*Snapshot, error) {
 	if s.scen.Kind == "" {
 		return nil, fmt.Errorf("cell: %w: no scenario installed", ErrNotSnapshottable)
 	}
+	if s.scen.patternFamily() {
+		// The workload library (gups/qcd/md/stream/pattern) is declared
+		// cold-path: its phase programs run as coroutine interpreter
+		// kernels whose goroutine state a clone cannot re-materialize.
+		// Sweeps fall back to cold boots per point (see Job.snapshot).
+		return nil, fmt.Errorf("cell: %w: %q is a phase-program workload (coroutine interpreter, cold path only)", ErrNotSnapshottable, s.scen.Kind)
+	}
 	if s.Eng.Now() != 0 || s.Eng.Fired() != 0 {
 		return nil, fmt.Errorf("cell: %w: snapshot must be taken at the install boundary, before the system runs", ErrNotSnapshottable)
 	}

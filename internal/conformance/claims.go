@@ -502,6 +502,184 @@ conflicts are visible span-by-span in a Perfetto trace
 		},
 	},
 	{
+		Title: "## Workload library (README \"Scenarios\")",
+		Claims: []Claim{
+			{
+				ID:       "wl/gups-element-scaling",
+				Label:    "GUPS update rate vs element size",
+				Paper:    "random updates are latency-bound: GB/s proportional to element size (Chen & Bader)",
+				Measured: "1.36 / 2.73 / 5.38 / 10.79 / 21.50 at 8–128 B",
+				Match:    "✓ (each doubling ≈ 2×)",
+				Short:    true,
+				Checks: []Check{
+					Ratio{Num: Metric{Probe: "gups-chunk", Curve: "8 SPE update", X: 16},
+						Den: Metric{Probe: "gups-chunk", Curve: "8 SPE update", X: 8}, Min: 1.8, Max: 2.2},
+					Ratio{Num: Metric{Probe: "gups-chunk", Curve: "8 SPE update", X: 128},
+						Den: Metric{Probe: "gups-chunk", Curve: "8 SPE update", X: 64}, Min: 1.8, Max: 2.2},
+				},
+			},
+			{
+				ID:       "wl/gups-chunk-knee",
+				Label:    "GUPS small-element knee",
+				Paper:    "sub-128 B gathers pay full DMA issue cost per element",
+				Measured: "64 B at 50% of the 128 B rate; 8 B at 6%",
+				Match:    "✓",
+				Checks: []Check{
+					Knee{Probe: "gups-chunk", Curve: "8 SPE update", KneeX: 128, MaxFrac: 0.55},
+					Range{M: Metric{Probe: "gups-chunk", Curve: "8 SPE update", X: 64}, Min: 9.5, Max: 12},
+				},
+			},
+			{
+				ID:       "wl/gups-bank-interleave",
+				Label:    "GUPS needs both XDR banks",
+				Paper:    "random access across both banks; one bank throttles the table",
+				Measured: "10.92 interleaved vs 7.61 single bank (−30%)",
+				Match:    "✓",
+				Short:    true,
+				Checks: []Check{
+					Ordering{Hi: Metric{Probe: "gups-bank", Curve: "interleaved", X: 64},
+						Lo: Metric{Probe: "gups-bank", Curve: "single bank", X: 64}, Factor: 1.25},
+				},
+			},
+			{
+				ID:       "wl/gups-bank-ceiling",
+				Label:    "single-bank GUPS ceiling",
+				Paper:    "one bank caps at 16.8, and random 64 B updates sit far below even that",
+				Measured: "7.65 max, under the 16.8 bank rate",
+				Match:    "✓",
+				Checks: []Check{
+					Ceiling{M: Metric{Probe: "gups-bank", Curve: "single bank", X: 64, Stat: MaxRun}, Limit: 16.8},
+					Range{M: Metric{Probe: "gups-bank", Curve: "single bank", X: 64}, Min: 6, Max: 9},
+				},
+			},
+			{
+				ID:       "wl/qcd-sustained",
+				Label:    "QCD sweep bandwidth",
+				Paper:    "spinor streaming + halo sustains near the Fig 8 memory rate (Belletti et al.)",
+				Measured: "18.83 at 4 KB spinors (8 SPEs)",
+				Match:    "✓",
+				Short:    true,
+				Checks: []Check{
+					Range{M: Metric{Probe: "qcd-chunk", Curve: "8 SPE halo", X: 4096}, Min: 17, Max: 21},
+				},
+			},
+			{
+				ID:       "wl/qcd-spinor-size",
+				Label:    "QCD vs spinor size",
+				Paper:    "flat at stream sizes; 16 KB slabs amortize the halo fence",
+				Measured: "18.87 / 18.78 / 18.83 / 24.63 at 256 B–16 KB",
+				Match:    "✓",
+				Checks: []Check{
+					Ratio{Num: Metric{Probe: "qcd-chunk", Curve: "8 SPE halo", X: 256},
+						Den: Metric{Probe: "qcd-chunk", Curve: "8 SPE halo", X: 4096}, Min: 0.9, Max: 1.1},
+					Ordering{Hi: Metric{Probe: "qcd-chunk", Curve: "8 SPE halo", X: 16384},
+						Lo: Metric{Probe: "qcd-chunk", Curve: "8 SPE halo", X: 256}, Factor: 1.15},
+				},
+			},
+			{
+				ID:       "wl/qcd-ring-locality",
+				Label:    "halo-ring placement locality",
+				Paper:    "ring traffic is locality-ordered across layouts: colliding placements halve it",
+				Measured: "best layout 107.1, worst 45.7 (pure halo ring)",
+				Match:    "✓",
+				Short:    true,
+				Checks: []Check{
+					Ordering{Hi: Metric{Probe: "qcd-ring", Curve: "halo ring", X: 1024, Stat: MaxRun},
+						Lo: Metric{Probe: "qcd-ring", Curve: "halo ring", X: 1024, Stat: MinRun}, Factor: 1.8},
+					Ceiling{M: Metric{Probe: "qcd-ring", Curve: "halo ring", X: 1024, Stat: MaxRun}, Limit: 134.4},
+				},
+			},
+			{
+				ID:       "wl/qcd-place-damped",
+				Label:    "full QCD damps placement",
+				Paper:    "memory streams dominate the halo, so placement costs % not ×",
+				Measured: "18.05–20.38 across 8 placements (spread 2.3)",
+				Match:    "✓",
+				Checks: []Check{
+					VarianceBound{M: Metric{Probe: "qcd-place", Curve: "8 SPE halo", X: 4096, Stat: Spread},
+						MinSpread: 0.3, MaxSpread: 5},
+				},
+			},
+			{
+				ID:       "wl/md-sustained",
+				Label:    "MD force loop bandwidth",
+				Paper:    "gather/compute/scatter sustains the Fig 8 memory rate",
+				Measured: "20.17 at 512 B pairs (8 SPEs)",
+				Match:    "✓",
+				Checks: []Check{
+					Range{M: Metric{Probe: "md-chunk", Curve: "8 SPE pairs", X: 512}, Min: 18.5, Max: 21.5},
+				},
+			},
+			{
+				ID:       "wl/md-element-insensitive",
+				Label:    "MD vs pair-record size",
+				Paper:    "deep async gathers hide per-element cost down to 128 B",
+				Measured: "19.82 at 128 B vs 21.12 at 4 KB (−6%)",
+				Match:    "✓",
+				Checks: []Check{
+					Ratio{Num: Metric{Probe: "md-chunk", Curve: "8 SPE pairs", X: 128},
+						Den: Metric{Probe: "md-chunk", Curve: "8 SPE pairs", X: 4096}, Min: 0.85, Max: 1.02},
+				},
+			},
+			{
+				ID:       "wl/stream-triad-band",
+				Label:    "STREAM triad",
+				Paper:    "21.8 on real hardware (McCalpin kernel, cellbench `stream`)",
+				Measured: "21.99 (scenario preset, 8 SPEs, 16 KB blocks)",
+				Match:    "✓",
+				Short:    true,
+				Checks: []Check{
+					Range{M: Metric{Probe: "stream-ops", Curve: "triad", X: 16384}, Min: 20.5, Max: 23.5},
+				},
+			},
+			{
+				ID:       "wl/stream-triad-vs-copy",
+				Label:    "triad vs copy ratio",
+				Paper:    "three-array kernels slightly above two-array (more overlap per fence)",
+				Measured: "21.99 / 21.39 = 1.03",
+				Match:    "✓",
+				Checks: []Check{
+					Ratio{Num: Metric{Probe: "stream-ops", Curve: "triad", X: 16384},
+						Den: Metric{Probe: "stream-ops", Curve: "copy", X: 16384}, Min: 0.95, Max: 1.15},
+				},
+			},
+			{
+				ID:       "wl/stream-op-pairs",
+				Label:    "scale=copy, add=triad",
+				Paper:    "compute op is free: bandwidth depends only on the array count",
+				Measured: "identical phase programs, bit-identical rates",
+				Match:    "✓",
+				Checks: []Check{
+					Ratio{Num: Metric{Probe: "stream-ops", Curve: "scale", X: 16384},
+						Den: Metric{Probe: "stream-ops", Curve: "copy", X: 16384}, Min: 0.999, Max: 1.001},
+					Ratio{Num: Metric{Probe: "stream-ops", Curve: "add", X: 16384},
+						Den: Metric{Probe: "stream-ops", Curve: "triad", X: 16384}, Min: 0.999, Max: 1.001},
+				},
+			},
+			{
+				ID:       "wl/stream-block-insensitive",
+				Label:    "triad vs block size",
+				Paper:    "double-buffered streams saturate from 512 B blocks on",
+				Measured: "21.52 / 21.49 / 21.99 at 512 B / 2 KB / 16 KB",
+				Match:    "✓",
+				Checks: []Check{
+					Ratio{Num: Metric{Probe: "stream-chunk", Curve: "triad", X: 512},
+						Den: Metric{Probe: "stream-chunk", Curve: "triad", X: 16384}, Min: 0.9, Max: 1.05},
+					Ratio{Num: Metric{Probe: "stream-chunk", Curve: "triad", X: 2048},
+						Den: Metric{Probe: "stream-chunk", Curve: "triad", X: 16384}, Min: 0.9, Max: 1.05},
+				},
+			},
+		},
+		Footer: `The workload presets (` + "`gups`" + `, ` + "`qcd`" + `, ` + "`md`" + `, ` + "`stream`" + `) are data-driven
+phase programs on the pattern interpreter — see README "Scenarios" for
+the lineage (Chen & Bader's GUPS characterisation, Belletti et al.'s
+lattice QCD, McCalpin's STREAM) and DESIGN.md for the pattern layer.
+The provenance run behind the preset rows is the ` + "`workloads`" + ` section of
+` + "`results/full_sweep.txt`" + ` (` + "`cellbench -experiment workloads`" + `); the
+halo-ring and bank-split rows come from the conformance probes
+themselves (explicit phase program / config variant, quick volumes).`,
+	},
+	{
 		Title: "## Extensions (the paper's §5 future work)",
 		Footer: "`cellbench -experiment kernels` — streamed compute kernels, GFLOPS\n" +
 			"(1→8 SPEs): dot 2.3→5.7 (bandwidth-bound, saturates exactly where\n" +

@@ -203,6 +203,131 @@ var probes = map[string]probe{
 	"ppe-prefetch": {
 		run: ppePrefetchProbe,
 	},
+	// The workload library (README "Scenarios"): GUPS, QCD halo, MD and
+	// STREAM presets of the pattern interpreter, restricted to the grid
+	// points the "Workload library" claims reference. GUPS probes scale
+	// the volume down — its elements are 8..128 B gathers, so the same
+	// bytes cost orders of magnitude more commands than a DMA stream.
+	"gups-chunk": {
+		tweak: func(p *core.Params) { p.BytesPerSPE = 32 << 10 },
+		run: func(p core.Params) (*core.Result, error) {
+			return workloadProbe(p, "gups-chunk", "GUPS table updates vs element size (8 SPEs)",
+				[]workloadVariant{{label: "8 SPE update",
+					spec: core.SweepSpec{Scenario: "gups", SPEs: 8, Op: "both", Chunks: []int{8, 16, 32, 64, 128}}}})
+		},
+	},
+	"gups-bank": {
+		tweak: func(p *core.Params) { p.BytesPerSPE = 128 << 10 },
+		run: func(p core.Params) (*core.Result, error) {
+			single := cell.DefaultConfig()
+			single.Mem.Interleave = false
+			spec := core.SweepSpec{Scenario: "gups", SPEs: 8, Op: "both", Chunks: []int{64}}
+			return workloadProbe(p, "gups-bank", "GUPS updates: interleaved banks vs a single bank",
+				[]workloadVariant{
+					{label: "interleaved", spec: spec},
+					{label: "single bank", spec: spec, base: &single},
+				})
+		},
+	},
+	// The qcd halo phase in isolation: an explicit ring-only phase program
+	// (no memory streams to mask the EIB), run over a pinned census of
+	// layouts — the identity plus eight scrambled placements — because the
+	// locality ordering lives *across layouts*: a placement that folds the
+	// logical ring onto colliding ring segments halves the halo rate.
+	"qcd-ring": {
+		run: func(p core.Params) (*core.Result, error) {
+			ring := &cell.Pattern{Phases: []cell.Phase{{Access: "ring", Bytes: 256 << 10}}}
+			return workloadProbe(p, "qcd-ring", "QCD halo ring in isolation, across SPE placements",
+				[]workloadVariant{{label: "halo ring", seeds: []int64{0, 1, 2, 3, 4, 5, 6, 7, 8},
+					spec: core.SweepSpec{Scenario: "pattern", SPEs: 8, Pattern: ring, Chunks: []int{1024}}}})
+		},
+	},
+	"qcd-chunk": {
+		run: func(p core.Params) (*core.Result, error) {
+			return workloadProbe(p, "qcd-chunk", "QCD sweep vs spinor element size (8 SPEs)",
+				[]workloadVariant{{label: "8 SPE halo",
+					spec: core.SweepSpec{Scenario: "qcd", SPEs: 8, Chunks: []int{256, 1024, 4096, 16384}}}})
+		},
+	},
+	// Placement spread wants more layout samples than the mean claims, as
+	// the Figure 13/16 spread probes do.
+	"qcd-place": {
+		tweak: func(p *core.Params) { p.Runs = 8 },
+		run: func(p core.Params) (*core.Result, error) {
+			return workloadProbe(p, "qcd-place", "QCD halo bandwidth across SPE placements",
+				[]workloadVariant{{label: "8 SPE halo",
+					spec: core.SweepSpec{Scenario: "qcd", SPEs: 8, Chunks: []int{4096}}}})
+		},
+	},
+	"md-chunk": {
+		run: func(p core.Params) (*core.Result, error) {
+			return workloadProbe(p, "md-chunk", "MD pair gather/scatter vs element size (8 SPEs)",
+				[]workloadVariant{{label: "8 SPE pairs",
+					spec: core.SweepSpec{Scenario: "md", SPEs: 8, Chunks: []int{128, 512, 4096}}}})
+		},
+	},
+	"stream-ops": {
+		run: func(p core.Params) (*core.Result, error) {
+			var variants []workloadVariant
+			for _, op := range []string{"copy", "scale", "add", "triad"} {
+				variants = append(variants, workloadVariant{label: op,
+					spec: core.SweepSpec{Scenario: "stream", SPEs: 8, Op: op, Chunks: []int{16384}}})
+			}
+			return workloadProbe(p, "stream-ops", "STREAM scenario kernels at 16 KB blocks (8 SPEs)", variants)
+		},
+	},
+	"stream-chunk": {
+		run: func(p core.Params) (*core.Result, error) {
+			return workloadProbe(p, "stream-chunk", "STREAM triad vs block size (8 SPEs)",
+				[]workloadVariant{{label: "triad",
+					spec: core.SweepSpec{Scenario: "stream", SPEs: 8, Op: "triad", Chunks: []int{512, 2048, 16384}}}})
+		},
+	},
+}
+
+// workloadVariant is one curve of a workload-library probe: a sweep spec
+// (seeds and volume filled in from the dataset parameters unless pinned)
+// plus an optional config override.
+type workloadVariant struct {
+	label string
+	seeds []int64
+	spec  core.SweepSpec
+	base  *cell.Config
+}
+
+// workloadProbe folds workload-library sweeps into labeled curves over
+// the element-size axis.
+func workloadProbe(p core.Params, name, title string, variants []workloadVariant) (*core.Result, error) {
+	res := &core.Result{Name: name, Title: title, XLabel: "element size (bytes)", YLabel: "GB/s"}
+	defSeeds := make([]int64, p.Runs)
+	for i := range defSeeds {
+		defSeeds[i] = p.FirstSeed + int64(i)
+	}
+	for _, v := range variants {
+		spec := v.spec
+		spec.Seeds = v.seeds
+		if spec.Seeds == nil {
+			spec.Seeds = defSeeds
+		}
+		spec.Volume = p.BytesPerSPE
+		spec.Base = v.base
+		if spec.Base == nil {
+			spec.Base = p.Base
+		}
+		results, err := core.RunSweep(spec)
+		if err != nil {
+			return nil, err
+		}
+		series := stats.NewSeries(v.label, spec.Chunks)
+		for _, r := range results {
+			if r.Err != nil {
+				return nil, fmt.Errorf("conformance: %s point %s chunk=%d seed=%d: %w", name, v.label, r.Chunk, r.Seed, r.Err)
+			}
+			series.Add(r.Chunk, r.GBps)
+		}
+		res.Curves = append(res.Curves, core.CurveFromSeries(series))
+	}
+	return res, nil
 }
 
 // memBankProbe measures the NUMA placement ablation via the sweep runner:

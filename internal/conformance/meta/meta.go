@@ -39,8 +39,29 @@ type Case struct {
 
 func (c Case) String() string {
 	sc := c.Scenario
-	return fmt.Sprintf("kind=%s spes=%d chunk=%d volume=%d op=%q list=%v layout=%v clock=%.1f faults=%+v",
-		sc.Kind, sc.SPEs, sc.Chunk, sc.Volume, sc.Op, sc.List, c.Layout, c.ClockGHz, c.Faults)
+	return fmt.Sprintf("kind=%s spes=%d chunk=%d volume=%d op=%q list=%v ring=%d seeds=%v layout=%v clock=%.1f faults=%+v",
+		sc.Kind, sc.SPEs, sc.Chunk, sc.Volume, sc.Op, sc.List, sc.Ring, sc.AddrSeeds, c.Layout, c.ClockGHz, c.Faults)
+}
+
+// patternKind reports whether a scenario kind runs on the pattern
+// interpreter (the workload library); those kinds have no DMA-list
+// variant and their own chunk envelopes.
+func patternKind(kind string) bool {
+	switch kind {
+	case "gups", "qcd", "md", "stream", "pattern":
+		return true
+	}
+	return false
+}
+
+// maxChunkFor is the largest valid chunk of a kind — the shrinker's
+// "simplest chunk" target. GUPS elements are capped at 128 bytes; every
+// other kind accepts the full MFC transfer size.
+func maxChunkFor(kind string) int {
+	if kind == "gups" {
+		return 128
+	}
+	return 16384
 }
 
 // Outcome is the measured result of one run.
@@ -80,11 +101,16 @@ func Run(c Case) (Outcome, error) {
 // non-power-of-two 16-byte multiples that only a property test would try.
 var genChunks = []int{128, 256, 512, 1024, 2048, 4096, 8192, 16384, 48, 208, 1040, 5008}
 
-// Generate draws a random valid scenario case from rnd. Volumes are kept
-// small (at most ~512 KB per SPE) so a property can afford dozens of
-// runs; every generated case passes Scenario.Validate by construction.
+// gupsChunks are the element sizes the GUPS preset accepts (8..128 B
+// gathers/scatters).
+var gupsChunks = []int{8, 16, 32, 64, 128}
+
+// Generate draws a random valid scenario case from rnd — a canonical kind
+// or a workload-library kind. Volumes are kept small (at most ~512 KB per
+// SPE) so a property can afford dozens of runs; every generated case
+// passes Scenario.Validate by construction.
 func Generate(rnd *rand.Rand) Case {
-	kinds := []string{"pair", "couples", "cycle", "mem"}
+	kinds := []string{"pair", "couples", "cycle", "mem", "gups", "qcd", "md", "stream"}
 	sc := cell.Scenario{Kind: kinds[rnd.Intn(len(kinds))]}
 	switch sc.Kind {
 	case "pair":
@@ -96,12 +122,30 @@ func Generate(rnd *rand.Rand) Case {
 	case "mem":
 		sc.SPEs = 1 + rnd.Intn(8)
 		sc.Op = []string{"get", "put", "copy"}[rnd.Intn(3)]
+	case "gups":
+		sc.SPEs = 1 + rnd.Intn(8)
+		sc.Op = []string{"both", "get", "put"}[rnd.Intn(3)]
+	case "qcd":
+		sc.SPEs = 2 + rnd.Intn(7) // the halo ring needs a neighbour
+		if sc.SPEs > 2 && rnd.Intn(2) == 0 {
+			sc.Ring = 1 + rnd.Intn(sc.SPEs-1)
+		}
+	case "md":
+		sc.SPEs = 1 + rnd.Intn(8)
+	case "stream":
+		sc.SPEs = 1 + rnd.Intn(8)
+		sc.Op = []string{"copy", "scale", "add", "triad"}[rnd.Intn(4)]
 	}
-	sc.Chunk = genChunks[rnd.Intn(len(genChunks))]
+	if sc.Kind == "gups" {
+		sc.Chunk = gupsChunks[rnd.Intn(len(gupsChunks))]
+	} else {
+		sc.Chunk = genChunks[rnd.Intn(len(genChunks))]
+	}
 	// 8..40 elements per SPE, as a whole number of chunks so byte
 	// accounting is exact across every variant pairing.
 	sc.Volume = int64(sc.Chunk) * int64(8+rnd.Intn(33))
-	if rnd.Intn(2) == 0 && !(sc.Kind == "mem" && sc.Op == "copy") {
+	// The DMA-list variant exists only for the canonical kernels.
+	if rnd.Intn(2) == 0 && !patternKind(sc.Kind) && !(sc.Kind == "mem" && sc.Op == "copy") {
 		sc.List = true
 	}
 	return Case{
@@ -131,10 +175,11 @@ func GenerateFaults(rnd *rand.Rand) fault.Config {
 }
 
 // Shrink minimizes a failing case: while the predicate still fails, it
-// greedily applies simplifications — identity layout, no faults, fewer
-// SPEs, elem instead of list, the largest chunk, half the volume — and
-// returns the simplest case that still fails. fails must be
-// deterministic for the same case (runs are).
+// greedily applies simplifications — identity layout, no faults, no ring
+// offset, no pinned address seeds, fewer SPEs, elem instead of list, the
+// kind's largest chunk, half the volume — and returns the simplest case
+// that still fails. fails must be deterministic for the same case (runs
+// are).
 func Shrink(c Case, fails func(Case) bool) Case {
 	simpler := func(c Case) []Case {
 		var out []Case
@@ -148,6 +193,16 @@ func Shrink(c Case, fails func(Case) bool) Case {
 			v.Faults = fault.Config{}
 			out = append(out, v)
 		}
+		if c.Scenario.Ring != 0 {
+			v := c
+			v.Scenario.Ring = 0
+			out = append(out, v)
+		}
+		if c.Scenario.AddrSeeds != nil {
+			v := c
+			v.Scenario.AddrSeeds = nil
+			out = append(out, v)
+		}
 		if c.Scenario.List {
 			v := c
 			v.Scenario.List = false
@@ -159,13 +214,19 @@ func Shrink(c Case, fails func(Case) bool) Case {
 			if c.Scenario.Kind == "couples" {
 				v.Scenario.SPEs = c.Scenario.SPEs - 2
 			}
+			if v.Scenario.Ring >= v.Scenario.SPEs {
+				v.Scenario.Ring = 0
+			}
+			if len(v.Scenario.AddrSeeds) > 0 {
+				v.Scenario.AddrSeeds = v.Scenario.AddrSeeds[:v.Scenario.SPEs]
+			}
 			out = append(out, v)
 		}
-		if c.Scenario.Chunk != 16384 {
+		if max := maxChunkFor(c.Scenario.Kind); c.Scenario.Chunk != max {
 			v := c
 			elems := c.Scenario.Volume / int64(c.Scenario.Chunk)
-			v.Scenario.Chunk = 16384
-			v.Scenario.Volume = 16384 * elems
+			v.Scenario.Chunk = max
+			v.Scenario.Volume = int64(max) * elems
 			out = append(out, v)
 		}
 		if elems := c.Scenario.Volume / int64(c.Scenario.Chunk); elems >= 16 {

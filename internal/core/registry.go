@@ -130,6 +130,11 @@ var registry = map[string]Experiment{
 		Description: "Synchronous DMA round-trip latency by size, LS-to-LS and memory",
 		Run:         DMALatency,
 	},
+	"workloads": {
+		Name: "workloads", Figure: "extension (README Scenarios)",
+		Description: "Workload presets (gups, qcd, md, stream) on the pattern interpreter, 8 SPEs",
+		Run:         Workloads,
+	},
 }
 
 // Experiments returns all experiments sorted by name.

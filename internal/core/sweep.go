@@ -18,16 +18,29 @@ import (
 // so parallelism is across runs, never within one), which makes the sweep
 // embarrassingly parallel and the results independent of worker count.
 type SweepSpec struct {
-	// Scenario is the workload kind: pair, couples, cycle or mem.
+	// Scenario is the workload kind: the canonical pair, couples, cycle
+	// or mem, or a workload-library kind (gups, qcd, md, stream,
+	// pattern).
 	Scenario string
 	// SPEs is the SPE count handed to the scenario.
 	SPEs int
-	// Op is the mem-scenario operation (get, put or copy); ignored for
-	// the SPE-to-SPE scenarios. Empty defaults to get.
+	// Op is the scenario operation: get, put or copy for mem; get, put
+	// or both for gups; copy, scale, add or triad for stream. Ignored
+	// for the SPE-to-SPE scenarios. Empty picks the kind's default
+	// (cell.Scenario.WithDefaultOp).
 	Op string
 	// List runs the DMA-list variant of the scenario kernels (GETL/PUTL
 	// lists of Chunk-sized elements) instead of DMA-elem commands.
 	List bool
+	// Ring is the qcd preset's halo-exchange neighbour distance (0
+	// means nearest neighbour).
+	Ring int `json:",omitempty"`
+	// AddrSeeds pins the per-SPE address-stream seeds of seeded-random
+	// workloads (one per SPE); nil derives fixed lane seeds.
+	AddrSeeds []int64 `json:",omitempty"`
+	// Pattern is the explicit phase program swept by the "pattern"
+	// scenario kind.
+	Pattern *cell.Pattern `json:",omitempty"`
 	// Chunks are the DMA element sizes to sweep.
 	Chunks []int
 	// Seeds are the layout seeds to sweep (seed 0 is the identity
@@ -167,11 +180,11 @@ func (s *SweepSpec) faultsEnabled() bool {
 }
 
 func (s SweepSpec) scenario(chunk int) cell.Scenario {
-	op := s.Op
-	if op == "" {
-		op = "get"
+	sc := cell.Scenario{
+		Kind: s.Scenario, SPEs: s.SPEs, Chunk: chunk, Volume: s.Volume,
+		Op: s.Op, List: s.List, Ring: s.Ring, AddrSeeds: s.AddrSeeds, Pattern: s.Pattern,
 	}
-	return cell.Scenario{Kind: s.Scenario, SPEs: s.SPEs, Chunk: chunk, Volume: s.Volume, Op: op, List: s.List}
+	return sc.WithDefaultOp()
 }
 
 // pointConfig resolves the machine configuration one grid point runs on:

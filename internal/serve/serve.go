@@ -150,6 +150,12 @@ type SweepRequest struct {
 	Faults    string          `json:"faults,omitempty"`
 	FaultSeed int64           `json:"fault_seed,omitempty"`
 	Config    json.RawMessage `json:"config,omitempty"`
+	// Workload-library knobs: ring is the qcd halo-exchange neighbour
+	// distance, addr_seeds pins per-SPE address-stream seeds, pattern is
+	// the explicit phase program of the "pattern" scenario kind.
+	Ring      int           `json:"ring,omitempty"`
+	AddrSeeds []int64       `json:"addr_seeds,omitempty"`
+	Pattern   *cell.Pattern `json:"pattern,omitempty"`
 }
 
 // Point is one grid point on the wire. Failed points carry error/code/log
@@ -290,6 +296,15 @@ func (s *Server) spec(req *SweepRequest) (core.SweepSpec, error) {
 		return core.SweepSpec{}, fmt.Errorf("volume %d exceeds the server's limit of %d",
 			req.Volume, s.opts.maxVolume())
 	}
+	if req.Pattern != nil {
+		// Explicit phase programs bypass the Volume knob, so cap their
+		// accounted per-SPE traffic the same way Volume is capped; the
+		// grid cap already bounds AddrSeeds via spes <= NumSPEs.
+		if lb := req.Pattern.LaneBytes(); lb > s.opts.maxVolume() {
+			return core.SweepSpec{}, fmt.Errorf("pattern moves %d bytes per SPE, exceeding the server's limit of %d",
+				lb, s.opts.maxVolume())
+		}
+	}
 	seeds := req.Seeds
 	if len(seeds) == 0 {
 		seeds = make([]int64, nSeeds)
@@ -333,6 +348,9 @@ func (s *Server) spec(req *SweepRequest) (core.SweepSpec, error) {
 		Chunks:    req.Chunks,
 		Seeds:     seeds,
 		Volume:    req.Volume,
+		Ring:      req.Ring,
+		AddrSeeds: req.AddrSeeds,
+		Pattern:   req.Pattern,
 		Base:      &cfg,
 		MaxCycles: budget,
 	}, nil
